@@ -1,0 +1,56 @@
+"""Figure 8 — optimization of the batched TPC-D queries BQ1..BQ5.
+
+Each composite query BQ_i consists of the first i of Q3, Q5, Q7, Q9, Q10, each
+repeated twice with different selection constants (TPC-D scale 1, clustered
+primary-key indices).  Regenerates both panels: estimated cost and
+optimization time per algorithm.
+"""
+
+import pytest
+
+from harness import assert_cost_ordering, print_cost_table, print_time_table, run_workload
+from repro import Algorithm
+from repro.workloads.batch import all_batched_workloads
+
+WORKLOADS = all_batched_workloads()
+
+
+@pytest.fixture(scope="module")
+def figure8_results(tpcd_opt):
+    results = {name: run_workload(tpcd_opt, queries) for name, queries in WORKLOADS.items()}
+    print_cost_table("Figure 8 (batched TPC-D)", results)
+    print_time_table("Figure 8 (batched TPC-D)", results)
+    return results
+
+
+@pytest.mark.parametrize("workload", list(WORKLOADS))
+def test_fig8_cost_ordering(figure8_results, workload):
+    assert_cost_ordering(figure8_results[workload])
+
+
+def test_fig8_greedy_beats_volcano_substantially(figure8_results):
+    """The paper reports up to ~56% improvement for Greedy on this workload."""
+    results = figure8_results["BQ5"]
+    assert results["Greedy"].cost < 0.7 * results["Volcano"].cost
+
+
+def test_fig8_greedy_beats_volcano_sh(figure8_results):
+    """Greedy finds strictly more sharing than the plan-local heuristics on
+    the larger batches (the paper's ~14% vs ~56% contrast)."""
+    results = figure8_results["BQ5"]
+    assert results["Greedy"].cost < results["Volcano-SH"].cost
+
+
+@pytest.mark.parametrize("workload", ["BQ1", "BQ3", "BQ5"])
+def test_fig8_greedy_optimization_time(benchmark, tpcd_opt, workload):
+    queries = WORKLOADS[workload]
+    dag = tpcd_opt.build_dag(queries)
+    benchmark(lambda: tpcd_opt.optimize(queries, Algorithm.GREEDY, dag=dag))
+
+
+@pytest.mark.parametrize("workload", ["BQ5"])
+def test_fig8_volcano_sh_overhead_is_negligible(benchmark, tpcd_opt, workload):
+    """Volcano-SH costs essentially the same optimization time as Volcano."""
+    queries = WORKLOADS[workload]
+    dag = tpcd_opt.build_dag(queries)
+    benchmark(lambda: tpcd_opt.optimize(queries, Algorithm.VOLCANO_SH, dag=dag))

@@ -1,0 +1,91 @@
+"""Section 6.3 — effect of the individual Greedy optimizations (ablations).
+
+The paper reports that on the scale-up workload:
+
+* without the **monotonicity heuristic** the number of benefit recomputations
+  explodes (≈1558 per materialization at CQ2 vs ≈45 with it) and optimization
+  time grows by an order of magnitude, while the returned plans have virtually
+  the same cost;
+* without the **sharability computation** every node is a candidate and
+  optimization time increases significantly.
+
+This module regenerates those comparisons (and adds the incremental-cost-update
+ablation, the third optimization of Section 4).
+"""
+
+import pytest
+
+from repro import Algorithm, GreedyOptions
+from repro.workloads.scaleup import all_scaleup_workloads
+
+WORKLOADS = all_scaleup_workloads()
+ABLATION_WORKLOAD = "CQ2"
+
+
+@pytest.fixture(scope="module")
+def ablation_results(psp_opt):
+    queries = WORKLOADS[ABLATION_WORKLOAD]
+    dag = psp_opt.build_dag(queries)
+    variants = {
+        "full": GreedyOptions(),
+        "no-monotonicity": GreedyOptions(use_monotonicity=False),
+        "no-sharability": GreedyOptions(use_sharability=False),
+        "no-incremental": GreedyOptions(use_incremental=False),
+    }
+    results = {}
+    print(f"\n=== Section 6.3 ablations on {ABLATION_WORKLOAD} ===")
+    print(f"{'variant':<18s}{'cost':>12s}{'opt ms':>10s}{'recomputations':>16s}{'candidates':>12s}")
+    for name, options in variants.items():
+        result = psp_opt.optimize(queries, Algorithm.GREEDY, dag=dag, greedy_options=options)
+        results[name] = result
+        print(
+            f"{name:<18s}{result.cost:>12.1f}{result.optimization_time * 1000:>10.1f}"
+            f"{result.counters['benefit_recomputations']:>16d}{result.counters['candidates']:>12d}"
+        )
+    return results
+
+
+def test_sec63_monotonicity_reduces_recomputations(ablation_results):
+    with_mono = ablation_results["full"].counters["benefit_recomputations"]
+    without_mono = ablation_results["no-monotonicity"].counters["benefit_recomputations"]
+    assert without_mono > 2 * with_mono
+
+
+def test_sec63_monotonicity_preserves_plan_quality(ablation_results):
+    """The paper: plans with and without monotonicity had virtually the same cost."""
+    assert ablation_results["full"].cost <= ablation_results["no-monotonicity"].cost * 1.05
+
+
+def test_sec63_sharability_prunes_candidates(ablation_results):
+    assert (
+        ablation_results["full"].counters["candidates"]
+        < ablation_results["no-sharability"].counters["candidates"]
+    )
+
+
+def test_sec63_all_variants_beat_volcano(psp_opt, ablation_results):
+    volcano = psp_opt.optimize(WORKLOADS[ABLATION_WORKLOAD], Algorithm.VOLCANO)
+    for result in ablation_results.values():
+        assert result.cost <= volcano.cost * 1.001
+
+
+@pytest.mark.parametrize(
+    "variant",
+    ["full", "no-monotonicity", "no-sharability", "no-incremental"],
+)
+def test_sec63_greedy_variant_benchmark(benchmark, psp_opt, variant):
+    """Time each variant: the full implementation should be the fastest or
+    close to it (this is the order-of-magnitude claim of Section 6.3)."""
+    options = {
+        "full": GreedyOptions(),
+        "no-monotonicity": GreedyOptions(use_monotonicity=False),
+        "no-sharability": GreedyOptions(use_sharability=False),
+        "no-incremental": GreedyOptions(use_incremental=False),
+    }[variant]
+    queries = WORKLOADS[ABLATION_WORKLOAD]
+    dag = psp_opt.build_dag(queries)
+    benchmark.pedantic(
+        lambda: psp_opt.optimize(queries, Algorithm.GREEDY, dag=dag, greedy_options=options),
+        rounds=3,
+        iterations=1,
+    )

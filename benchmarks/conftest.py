@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Makes the locally built package and the harness importable when the suite is
+run as ``pytest benchmarks/ --benchmark-only`` from the repository root, and
+provides session-scoped catalogs so DAG construction cost is not re-paid by
+every benchmark.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest
+
+from repro import MQOptimizer
+from repro.catalog import psp_catalog, tpcd_catalog
+
+
+@pytest.fixture(scope="session")
+def tpcd_opt() -> MQOptimizer:
+    """Optimizer over the TPC-D catalog at scale 1 (the paper's main setup)."""
+    return MQOptimizer(tpcd_catalog(1.0))
+
+
+@pytest.fixture(scope="session")
+def psp_opt() -> MQOptimizer:
+    """Optimizer over the PSP scale-up catalog."""
+    return MQOptimizer(psp_catalog())

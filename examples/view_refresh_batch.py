@@ -1,0 +1,74 @@
+"""Materialized-view refresh as a multi-query optimization problem.
+
+Updating a set of related materialized views generates queries with common
+sub-expressions (one of the motivating scenarios in the paper's introduction
+and in [RSS96]).  The example defines three aggregate views over the same
+``orders ⋈ lineitem`` join and optimizes their refresh queries as one batch,
+plus a parameterized-query batch (Section 5) built from a single template.
+"""
+
+from repro import MQOptimizer, PAPER_ALGORITHMS, Query
+from repro.algebra import Aggregate, AggregateFunction, Join, Relation, Select, col, eq, ge
+from repro.catalog import tpcd_catalog
+from repro.catalog.tpcd import date_day
+from repro.workloads.nested import parameterized_batch
+from repro.workloads.tpcd_queries import q3
+
+
+def view_refresh_queries():
+    base_join = Join(
+        Relation("orders"),
+        Relation("lineitem"),
+        eq(col("orders", "o_orderkey"), col("lineitem", "l_orderkey")),
+    )
+    recent = Select(base_join, ge(col("orders", "o_orderdate"), date_day(1997)))
+
+    views = {
+        "revenue_by_customer": Aggregate(
+            recent,
+            group_by=(col("orders", "o_custkey"),),
+            aggregates=(AggregateFunction("sum", col("lineitem", "l_extendedprice"), "revenue"),),
+            alias="v_customer",
+        ),
+        "volume_by_shipmode": Aggregate(
+            recent,
+            group_by=(col("lineitem", "l_shipmode"),),
+            aggregates=(AggregateFunction("sum", col("lineitem", "l_quantity"), "volume"),),
+            alias="v_shipmode",
+        ),
+        "orders_by_priority": Aggregate(
+            recent,
+            group_by=(col("orders", "o_orderpriority"),),
+            aggregates=(AggregateFunction("count", None, "orders"),),
+            alias="v_priority",
+        ),
+    }
+    return [Query(name, expression) for name, expression in views.items()]
+
+
+def main() -> None:
+    catalog = tpcd_catalog(scale=1.0)
+    optimizer = MQOptimizer(catalog)
+
+    print("=== refreshing three materialized views over orders ⋈ lineitem ===")
+    for result in optimizer.optimize_all(view_refresh_queries(), PAPER_ALGORITHMS).values():
+        print(" ", result.summary())
+
+    print("\n=== five invocations of a parameterized query (TPC-D Q3 template) ===")
+    batch = parameterized_batch(
+        q3,
+        [
+            {"segment": "BUILDING", "date": date_day(1995, 3, 15)},
+            {"segment": "BUILDING", "date": date_day(1995, 6, 1)},
+            {"segment": "MACHINERY", "date": date_day(1995, 3, 15)},
+            {"segment": "HOUSEHOLD", "date": date_day(1995, 3, 15)},
+            {"segment": "BUILDING", "date": date_day(1995, 9, 1)},
+        ],
+        name="Q3",
+    )
+    for result in optimizer.optimize_all(batch, PAPER_ALGORITHMS).values():
+        print(" ", result.summary())
+
+
+if __name__ == "__main__":
+    main()

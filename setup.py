@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517 --no-build-isolation`` on offline machines
+where the PEP 517 editable-install path (which needs ``bdist_wheel``) is not
+available.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro — a reproduction of "Efficient and Extensible Algorithms for Multi
+Query Optimization" (Roy, Seshadri, Sudarshan, Bhobe; SIGMOD 2000).
+
+The package provides:
+
+* :mod:`repro.algebra` — relational algebra expressions and predicates;
+* :mod:`repro.catalog` — schemas and statistics (TPC-D and the PSP scale-up
+  schema);
+* :mod:`repro.cost` — the block-based cost model and cardinality estimation;
+* :mod:`repro.dag` — the AND-OR DAG with unification, subsumption derivations
+  and sharability detection;
+* :mod:`repro.optimizer` — Volcano, Volcano-SH, Volcano-RU, Greedy (with the
+  incremental cost update and monotonicity optimizations) and an exhaustive
+  oracle;
+* :mod:`repro.execution` — a simulated execution engine and data generators;
+* :mod:`repro.workloads` — the TPC-D, batched and scale-up workloads of the
+  paper's evaluation;
+* :mod:`repro.api` — the public façade (:class:`MQOptimizer`).
+"""
+
+from repro.api import Algorithm, MQOptimizer, PAPER_ALGORITHMS, optimize
+from repro.dag.builder import Query
+from repro.optimizer import GreedyOptions, OptimizationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Algorithm",
+    "MQOptimizer",
+    "PAPER_ALGORITHMS",
+    "optimize",
+    "Query",
+    "GreedyOptions",
+    "OptimizationResult",
+    "__version__",
+]

@@ -1,0 +1,66 @@
+"""Relational algebra substrate: column references, predicates and logical
+query expressions.
+
+This package is the front end of the reproduction: workloads are written as
+logical expression trees (:mod:`repro.algebra.expressions`) over a catalog,
+with predicates from :mod:`repro.algebra.predicates`.  The multi-query
+optimizer consumes these trees (after normalization into query blocks, see
+:mod:`repro.dag.builder`).
+"""
+
+from repro.algebra.columns import ColumnRef, Constant, col, lit
+from repro.algebra.predicates import (
+    Comparison,
+    Conjunction,
+    Disjunction,
+    Predicate,
+    TruePredicate,
+    and_,
+    conjuncts_of,
+    eq,
+    ge,
+    gt,
+    implies,
+    le,
+    lt,
+    ne,
+    or_,
+)
+from repro.algebra.expressions import (
+    Aggregate,
+    AggregateFunction,
+    Expression,
+    Join,
+    Project,
+    Relation,
+    Select,
+)
+
+__all__ = [
+    "ColumnRef",
+    "Constant",
+    "col",
+    "lit",
+    "Predicate",
+    "Comparison",
+    "Conjunction",
+    "Disjunction",
+    "TruePredicate",
+    "and_",
+    "or_",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "implies",
+    "conjuncts_of",
+    "Expression",
+    "Relation",
+    "Select",
+    "Project",
+    "Join",
+    "Aggregate",
+    "AggregateFunction",
+]

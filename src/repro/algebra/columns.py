@@ -1,0 +1,67 @@
+"""Column references and literal constants used in predicates and expressions.
+
+A :class:`ColumnRef` names a column of a relation *instance*; the ``relation``
+part is the alias used in the query (for base tables that are referenced only
+once, the alias conventionally equals the table name).  Canonicalization of
+aliases for DAG unification happens later, in :mod:`repro.dag.builder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, order=True)
+class ColumnRef:
+    """A reference to ``relation.column``."""
+
+    relation: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.relation}.{self.column}"
+
+    def with_relation(self, relation: str) -> "ColumnRef":
+        """Return a copy of this reference bound to a different alias."""
+        return ColumnRef(relation, self.column)
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """A literal constant appearing in a predicate.
+
+    Values are restricted to orderable Python scalars (numbers and strings) so
+    that predicate implication tests and selectivity estimation can compare
+    them.
+    """
+
+    value: Union[int, float, str]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+Operand = Union[ColumnRef, Constant]
+
+
+def col(relation: str, column: str) -> ColumnRef:
+    """Convenience constructor for a column reference."""
+    return ColumnRef(relation, column)
+
+
+def lit(value: Union[int, float, str]) -> Constant:
+    """Convenience constructor for a literal constant."""
+    return Constant(value)
+
+
+def is_column(operand: Operand) -> bool:
+    """Return ``True`` if *operand* is a column reference."""
+    return isinstance(operand, ColumnRef)
+
+
+def is_constant(operand: Operand) -> bool:
+    """Return ``True`` if *operand* is a literal constant."""
+    return isinstance(operand, Constant)

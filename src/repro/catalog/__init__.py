@@ -1,0 +1,23 @@
+"""Catalog substrate: schemas, table statistics and benchmark catalogs.
+
+The optimizer never looks at data; it consults the catalog for row counts,
+column widths, distinct-value counts and min/max bounds, plus index metadata.
+Two ready-made catalogs are provided: the TPC-D (TPC-H) schema at an arbitrary
+scale factor (:func:`repro.catalog.tpcd.tpcd_catalog`) and the PSP1..PSP22
+scale-up schema from Section 6.2 of the paper
+(:func:`repro.catalog.psp.psp_catalog`).
+"""
+
+from repro.catalog.schema import Column, Index, Table
+from repro.catalog.catalog import Catalog
+from repro.catalog.tpcd import tpcd_catalog
+from repro.catalog.psp import psp_catalog
+
+__all__ = [
+    "Column",
+    "Index",
+    "Table",
+    "Catalog",
+    "tpcd_catalog",
+    "psp_catalog",
+]

@@ -1,0 +1,88 @@
+"""The catalog: a named collection of tables with lookup helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.catalog.schema import Column, Index, Table
+
+
+class CatalogError(KeyError):
+    """Raised when a table or column is not found in the catalog."""
+
+
+class Catalog:
+    """A collection of base tables, keyed by (lower-case) table name."""
+
+    def __init__(self, tables: Iterable[Table] = ()) -> None:
+        self._tables: Dict[str, Table] = {}
+        for table in tables:
+            self.add_table(table)
+
+    # -- population ---------------------------------------------------------
+    def add_table(self, table: Table) -> None:
+        """Register *table*; replaces any previous table with the same name."""
+        self._tables[table.name.lower()] = table
+
+    # -- lookup ---------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        """Return the table called *name* (case-insensitive)."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table: {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def column(self, table: str, column: str) -> Column:
+        """Return column metadata, raising :class:`CatalogError` if missing."""
+        tbl = self.table(table)
+        if not tbl.has_column(column):
+            raise CatalogError(f"table {table!r} has no column {column!r}")
+        return tbl.column(column)
+
+    def tables(self) -> Tuple[Table, ...]:
+        return tuple(self._tables.values())
+
+    def table_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._tables))
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.has_table(name)
+
+    # -- derived ---------------------------------------------------------------
+    def index_on(self, table: str, column: str) -> Optional[Index]:
+        """Return an index on ``table.column`` if one exists."""
+        return self.table(table).index_on(column)
+
+    def total_rows(self) -> int:
+        """Total number of rows across all tables (used in reports/tests)."""
+        return sum(t.row_count for t in self._tables.values())
+
+    def renamed_copy(self, suffix: str) -> "Catalog":
+        """Return a catalog in which every table also exists under
+        ``<name><suffix>`` with identical statistics.
+
+        This supports the Section 6.4 "no sharing" experiment, where the TPC-D
+        queries are run over disjoint renamed copies of the relations.
+        """
+        clone = Catalog(self._tables.values())
+        for table in list(self._tables.values()):
+            renamed = Table(
+                name=f"{table.name}{suffix}",
+                columns=table.columns,
+                row_count=table.row_count,
+                indexes=tuple(
+                    Index(f"{table.name}{suffix}", idx.column, idx.clustered)
+                    for idx in table.indexes
+                ),
+            )
+            clone.add_table(renamed)
+        return clone

@@ -1,0 +1,216 @@
+"""The TPC-D (a.k.a. TPC-H) schema and statistics at an arbitrary scale factor.
+
+The paper's experiments use the TPC-D database at scale 1 (1 GB) and scale 100
+(100 GB).  The optimizer only needs catalog statistics, which scale linearly
+with the scale factor exactly as the official ``dbgen`` populations do, so
+this module constructs them analytically.
+
+Dates are modelled as integer "day numbers" with day 0 = 1992-01-01 and day
+2405 = 1998-08-02 (the range ``dbgen`` populates), which keeps predicate
+evaluation and selectivity estimation purely numeric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import make_table
+
+#: Day-number bounds of the TPC-D date domain (1992-01-01 .. 1998-08-02).
+DATE_LOW = 0
+DATE_HIGH = 2405
+
+
+def date_day(year: int, month: int = 1, day: int = 1) -> int:
+    """Approximate day number of a date within the TPC-D domain.
+
+    Months are treated as 30.4 days; precision is irrelevant for costing and
+    for the synthetic data generator, which uses the same mapping.
+    """
+    return int((year - 1992) * 365.25 + (month - 1) * 30.4 + (day - 1))
+
+
+def tpcd_catalog(scale: float = 1.0) -> Catalog:
+    """Build the TPC-D catalog at the given scale factor.
+
+    Every base table carries a clustered index on its primary key, matching
+    the experimental setup of Section 6.1 ("a clustered index on the primary
+    keys for all the base relations").
+    """
+    if scale <= 0:
+        raise ValueError("scale factor must be positive")
+
+    def scaled(base: int) -> int:
+        return max(1, int(round(base * scale)))
+
+    supplier_rows = scaled(10_000)
+    part_rows = scaled(200_000)
+    partsupp_rows = scaled(800_000)
+    customer_rows = scaled(150_000)
+    orders_rows = scaled(1_500_000)
+    lineitem_rows = scaled(6_000_000)
+
+    catalog = Catalog()
+
+    catalog.add_table(
+        make_table(
+            "region",
+            5,
+            [
+                ("r_regionkey", 4, 5),
+                ("r_name", 16, 5),
+                ("r_comment", 80, 5),
+            ],
+            primary_key="r_regionkey",
+        )
+    )
+
+    catalog.add_table(
+        make_table(
+            "nation",
+            25,
+            [
+                ("n_nationkey", 4, 25),
+                ("n_name", 16, 25),
+                ("n_regionkey", 4, 5),
+                ("n_comment", 80, 25),
+            ],
+            primary_key="n_nationkey",
+        )
+    )
+
+    catalog.add_table(
+        make_table(
+            "supplier",
+            supplier_rows,
+            [
+                ("s_suppkey", 4, supplier_rows),
+                ("s_name", 24, supplier_rows),
+                ("s_address", 32, supplier_rows),
+                ("s_nationkey", 4, 25),
+                ("s_phone", 16, supplier_rows),
+                ("s_acctbal", 8, supplier_rows),
+                ("s_comment", 64, supplier_rows),
+            ],
+            primary_key="s_suppkey",
+            numeric_bounds={"s_acctbal": (-999.99, 9999.99)},
+        )
+    )
+
+    catalog.add_table(
+        make_table(
+            "customer",
+            customer_rows,
+            [
+                ("c_custkey", 4, customer_rows),
+                ("c_name", 24, customer_rows),
+                ("c_address", 32, customer_rows),
+                ("c_nationkey", 4, 25),
+                ("c_phone", 16, customer_rows),
+                ("c_acctbal", 8, customer_rows),
+                ("c_mktsegment", 12, 5),
+                ("c_comment", 72, customer_rows),
+            ],
+            primary_key="c_custkey",
+            numeric_bounds={"c_acctbal": (-999.99, 9999.99)},
+        )
+    )
+
+    catalog.add_table(
+        make_table(
+            "part",
+            part_rows,
+            [
+                ("p_partkey", 4, part_rows),
+                ("p_name", 36, part_rows),
+                ("p_mfgr", 16, 5),
+                ("p_brand", 12, 25),
+                ("p_type", 20, 150),
+                ("p_size", 4, 50),
+                ("p_container", 12, 40),
+                ("p_retailprice", 8, part_rows),
+                ("p_comment", 16, part_rows),
+            ],
+            primary_key="p_partkey",
+            numeric_bounds={"p_size": (1, 50), "p_retailprice": (900.0, 2100.0)},
+        )
+    )
+
+    catalog.add_table(
+        make_table(
+            "partsupp",
+            partsupp_rows,
+            [
+                ("ps_partkey", 4, part_rows),
+                ("ps_suppkey", 4, supplier_rows),
+                ("ps_availqty", 4, 10_000),
+                ("ps_supplycost", 8, 100_000),
+                ("ps_comment", 100, partsupp_rows),
+            ],
+            primary_key="ps_partkey",
+            numeric_bounds={
+                "ps_availqty": (1, 10_000),
+                "ps_supplycost": (1.0, 1000.0),
+            },
+        )
+    )
+
+    catalog.add_table(
+        make_table(
+            "orders",
+            orders_rows,
+            [
+                ("o_orderkey", 4, orders_rows),
+                ("o_custkey", 4, customer_rows),
+                ("o_orderstatus", 2, 3),
+                ("o_totalprice", 8, orders_rows),
+                ("o_orderdate", 4, 2_400),
+                ("o_orderpriority", 12, 5),
+                ("o_clerk", 16, scaled(1_000)),
+                ("o_shippriority", 4, 1),
+                ("o_comment", 48, orders_rows),
+            ],
+            primary_key="o_orderkey",
+            numeric_bounds={
+                "o_orderdate": (DATE_LOW, DATE_HIGH),
+                "o_totalprice": (850.0, 560_000.0),
+            },
+        )
+    )
+
+    catalog.add_table(
+        make_table(
+            "lineitem",
+            lineitem_rows,
+            [
+                ("l_orderkey", 4, orders_rows),
+                ("l_partkey", 4, part_rows),
+                ("l_suppkey", 4, supplier_rows),
+                ("l_linenumber", 4, 7),
+                ("l_quantity", 8, 50),
+                ("l_extendedprice", 8, 1_000_000),
+                ("l_discount", 8, 11),
+                ("l_tax", 8, 9),
+                ("l_returnflag", 2, 3),
+                ("l_linestatus", 2, 2),
+                ("l_shipdate", 4, 2_500),
+                ("l_commitdate", 4, 2_450),
+                ("l_receiptdate", 4, 2_500),
+                ("l_shipinstruct", 20, 4),
+                ("l_shipmode", 12, 7),
+                ("l_comment", 28, lineitem_rows),
+            ],
+            primary_key="l_orderkey",
+            numeric_bounds={
+                "l_quantity": (1, 50),
+                "l_discount": (0.0, 0.10),
+                "l_shipdate": (DATE_LOW, DATE_HIGH + 120),
+                "l_commitdate": (DATE_LOW, DATE_HIGH + 90),
+                "l_receiptdate": (DATE_LOW, DATE_HIGH + 150),
+                "l_extendedprice": (900.0, 105_000.0),
+            },
+        )
+    )
+
+    return catalog

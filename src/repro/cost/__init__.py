@@ -1,0 +1,6 @@
+"""Costing substrate: the block-based cost model and cardinality estimation."""
+
+from repro.cost.model import Cost, CostModel
+from repro.cost.estimation import ColumnStats, Estimator, LogicalProperties
+
+__all__ = ["Cost", "CostModel", "ColumnStats", "Estimator", "LogicalProperties"]

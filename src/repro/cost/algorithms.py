@@ -1,0 +1,308 @@
+"""Cost functions for the physical algorithms of the paper's optimizer.
+
+Section 6 lists the implementation algorithms of the testbed optimizer:
+*sort-based aggregation, merge join, nested loops join, indexed join, indexed
+select and relation scan*.  This module prices each of them with the block
+model of :class:`repro.cost.model.CostModel`, given the estimated logical
+properties of the inputs, and provides ``choose_*`` helpers that return the
+cheapest applicable algorithm for an operation node — that choice is how
+physical plan selection enters the AND-OR DAG costing.
+
+Inputs are assumed to be pipelined (iterator model); whenever an algorithm
+needs to revisit its input (the inner of a nested-loops join, the runs of an
+external sort) the cost of buffering/spilling is charged to the algorithm
+itself, which keeps the paper's additive cost formula
+``cost(o) = exec(o) + Σ cost(e_i)`` valid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.algebra.columns import ColumnRef
+from repro.algebra.predicates import Comparison, Predicate
+from repro.catalog.catalog import Catalog
+from repro.cost.estimation import LogicalProperties
+from repro.cost.model import Cost, CostModel
+
+
+@dataclass(frozen=True)
+class AlgorithmChoice:
+    """The algorithm selected for an operation node and its execution cost."""
+
+    name: str
+    cost: Cost
+    #: Sort order (column refs) delivered by the algorithm, if any.
+    delivered_order: Tuple[ColumnRef, ...] = ()
+
+    @property
+    def total(self) -> float:
+        return self.cost.total
+
+
+# ---------------------------------------------------------------------------
+# Scans and selections
+# ---------------------------------------------------------------------------
+
+def table_scan_cost(
+    model: CostModel, table_rows: float, tuple_width: float, output_rows: float
+) -> Cost:
+    """Full sequential scan of a base table, applying any filter on the fly."""
+    blocks = model.blocks(table_rows, tuple_width)
+    return model.sequential_read(blocks) + model.cpu(0, table_rows + output_rows)
+
+
+def clustered_index_scan_cost(
+    model: CostModel, table_rows: float, tuple_width: float, matching_rows: float
+) -> Cost:
+    """Range/equality scan through a clustered index.
+
+    Only the fraction of blocks containing matching rows is read (plus the
+    index descent, charged as one probe).
+    """
+    matching_blocks = model.blocks(matching_rows, tuple_width)
+    descent = model.random_reads(1, model.index_probe_ios)
+    return descent + model.sequential_read(matching_blocks) + model.cpu(0, matching_rows)
+
+
+def secondary_index_scan_cost(
+    model: CostModel, table_rows: float, tuple_width: float, matching_rows: float
+) -> Cost:
+    """Lookup through a non-clustered index: one random read per matching row."""
+    return model.random_reads(max(1.0, matching_rows)) + model.cpu(0, matching_rows)
+
+
+def filter_cost(model: CostModel, input_rows: float, output_rows: float) -> Cost:
+    """A pipelined selection over an intermediate result (CPU only)."""
+    return model.cpu(0, input_rows + output_rows)
+
+
+def project_cost(model: CostModel, input_rows: float) -> Cost:
+    """A pipelined projection (CPU only)."""
+    return model.cpu(0, input_rows)
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+def block_nested_loops_join_cost(
+    model: CostModel,
+    outer: LogicalProperties,
+    inner: LogicalProperties,
+    output_rows: float,
+) -> Cost:
+    """Block nested-loops join with the inner input buffered.
+
+    The (pipelined) inner is materialized to a temporary once, then re-read
+    for every memory-full chunk of the outer; if the inner fits in memory no
+    temporary is needed.  The CPU cost reflects the quadratic number of tuple
+    comparisons nested loops performs, which is what makes merge or index
+    joins preferable for large inputs (the paper's operator set contains no
+    hash join).
+    """
+    outer_blocks = model.blocks(outer.rows, outer.tuple_width)
+    inner_blocks = model.blocks(inner.rows, inner.tuple_width)
+    compare_cpu = Cost(
+        0.0,
+        outer.rows * inner.rows * model.cpu_time_per_tuple
+        + output_rows * model.cpu_time_per_tuple,
+    )
+    if inner_blocks <= model.memory_blocks - 2:
+        return compare_cpu
+    chunks = math.ceil(outer_blocks / max(1, model.memory_blocks - 2))
+    spill = model.sequential_write(inner_blocks)
+    rescans = model.sequential_read(inner_blocks).scaled(chunks)
+    return spill + rescans + compare_cpu
+
+
+def merge_join_cost(
+    model: CostModel,
+    left: LogicalProperties,
+    right: LogicalProperties,
+    output_rows: float,
+    left_sorted: bool = False,
+    right_sorted: bool = False,
+) -> Cost:
+    """Sort-merge join; inputs that are not already sorted are sorted first."""
+    cost = Cost()
+    if not left_sorted:
+        cost = cost + model.external_sort(model.blocks(left.rows, left.tuple_width), left.rows)
+    if not right_sorted:
+        cost = cost + model.external_sort(model.blocks(right.rows, right.tuple_width), right.rows)
+    return cost + model.cpu(0, left.rows + right.rows + output_rows)
+
+
+def index_nested_loops_join_cost(
+    model: CostModel,
+    outer: LogicalProperties,
+    inner_table_rows: float,
+    inner_tuple_width: float,
+    matches_per_probe: float,
+    output_rows: float,
+    clustered: bool,
+) -> Cost:
+    """Index nested-loops join: one index probe into the inner per outer row."""
+    probe = model.index_probe_cost(matches_per_probe, inner_tuple_width)
+    if not clustered:
+        # Non-clustered index: every matching row may live in its own block.
+        probe = probe + model.random_reads(max(0.0, matches_per_probe - 1.0))
+    return probe.scaled(max(1.0, outer.rows)) + model.cpu(0, output_rows)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation and sorting
+# ---------------------------------------------------------------------------
+
+def sort_aggregate_cost(
+    model: CostModel, child: LogicalProperties, output_rows: float, child_sorted: bool = False
+) -> Cost:
+    """Sort-based group-by aggregation."""
+    cost = Cost()
+    if not child_sorted:
+        cost = cost + model.external_sort(model.blocks(child.rows, child.tuple_width), child.rows)
+    return cost + model.cpu(0, child.rows + output_rows)
+
+
+def sort_cost(model: CostModel, child: LogicalProperties) -> Cost:
+    """An explicit sort enforcer."""
+    return model.external_sort(model.blocks(child.rows, child.tuple_width), child.rows)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm choice helpers used by the DAG builder
+# ---------------------------------------------------------------------------
+
+def _equi_join_columns(predicates: Sequence[Predicate]) -> Sequence[Tuple[ColumnRef, ColumnRef]]:
+    """Extract ``left.col = right.col`` pairs from the join predicates."""
+    pairs = []
+    for predicate in predicates:
+        for conjunct in predicate.conjuncts():
+            if isinstance(conjunct, Comparison) and conjunct.op == "=" and conjunct.is_column_column():
+                pairs.append((conjunct.left, conjunct.right))
+    return pairs
+
+
+def choose_scan(
+    model: CostModel,
+    catalog: Catalog,
+    table_name: str,
+    alias: str,
+    predicate: Optional[Predicate],
+    base: LogicalProperties,
+    output: LogicalProperties,
+) -> AlgorithmChoice:
+    """Pick the cheapest access path for scanning ``table_name`` with a filter."""
+    table = catalog.table(table_name)
+    choices = [
+        AlgorithmChoice(
+            "table_scan",
+            table_scan_cost(model, base.rows, base.tuple_width, output.rows),
+            _clustered_order(catalog, table_name, alias),
+        )
+    ]
+    if predicate is not None:
+        for conjunct in predicate.conjuncts():
+            if not isinstance(conjunct, Comparison):
+                continue
+            normalized = conjunct.normalized()
+            if not normalized.is_column_constant():
+                continue
+            index = table.index_on(normalized.left.column)
+            if index is None:
+                continue
+            if index.clustered:
+                cost = clustered_index_scan_cost(model, base.rows, base.tuple_width, output.rows)
+                order = (ColumnRef(alias, index.column),)
+            else:
+                cost = secondary_index_scan_cost(model, base.rows, base.tuple_width, output.rows)
+                order = ()
+            choices.append(AlgorithmChoice(f"index_scan({index.column})", cost, order))
+    return min(choices, key=lambda c: c.total)
+
+
+def _clustered_order(catalog: Catalog, table_name: str, alias: str) -> Tuple[ColumnRef, ...]:
+    index = catalog.table(table_name).clustered_index()
+    if index is None:
+        return ()
+    return (ColumnRef(alias, index.column),)
+
+
+def choose_join(
+    model: CostModel,
+    catalog: Catalog,
+    left: LogicalProperties,
+    right: LogicalProperties,
+    predicates: Sequence[Predicate],
+    output_rows: float,
+    left_order: Tuple[ColumnRef, ...] = (),
+    right_order: Tuple[ColumnRef, ...] = (),
+    right_base_table: Optional[str] = None,
+    right_alias: Optional[str] = None,
+) -> AlgorithmChoice:
+    """Pick the cheapest join algorithm for one operation node.
+
+    *right_base_table* is set when the inner input is a plain (optionally
+    filtered) base-table scan, which enables index nested-loops joins through
+    an existing index on the join column.
+    """
+    choices = [
+        AlgorithmChoice(
+            "block_nested_loops_join",
+            block_nested_loops_join_cost(model, left, right, output_rows),
+        )
+    ]
+    equi_columns = _equi_join_columns(predicates)
+    if equi_columns:
+        left_cols = {c for pair in equi_columns for c in pair}
+        left_sorted = bool(left_order) and left_order[0] in left_cols
+        right_sorted = bool(right_order) and right_order[0] in left_cols
+        join_col = equi_columns[0]
+        choices.append(
+            AlgorithmChoice(
+                "merge_join",
+                merge_join_cost(model, left, right, output_rows, left_sorted, right_sorted),
+                (join_col[0],),
+            )
+        )
+        if right_base_table is not None and right_alias is not None:
+            table = catalog.table(right_base_table)
+            for left_col, right_col in equi_columns:
+                for candidate in (left_col, right_col):
+                    if candidate.relation != right_alias:
+                        continue
+                    index = table.index_on(candidate.column)
+                    if index is None:
+                        continue
+                    matches = right.rows / max(1.0, right.distinct(candidate))
+                    choices.append(
+                        AlgorithmChoice(
+                            f"index_nested_loops_join({candidate.column})",
+                            index_nested_loops_join_cost(
+                                model,
+                                left,
+                                right.rows,
+                                right.tuple_width,
+                                matches,
+                                output_rows,
+                                index.clustered,
+                            ),
+                        )
+                    )
+    return min(choices, key=lambda c: c.total)
+
+
+def choose_aggregate(
+    model: CostModel,
+    child: LogicalProperties,
+    group_by: Sequence[ColumnRef],
+    output_rows: float,
+    child_order: Tuple[ColumnRef, ...] = (),
+) -> AlgorithmChoice:
+    """Pick the aggregation strategy (sort-based, per the paper's operator set)."""
+    sorted_on_group = bool(group_by) and bool(child_order) and child_order[0] in set(group_by)
+    cost = sort_aggregate_cost(model, child, output_rows, child_sorted=sorted_on_group or not group_by)
+    order = tuple(group_by[:1]) if group_by else ()
+    return AlgorithmChoice("sort_aggregate", cost, order)

@@ -1,0 +1,227 @@
+"""System-R style cardinality and selectivity estimation.
+
+The estimator derives :class:`LogicalProperties` (row count, tuple width and
+per-column statistics) for every equivalence node of the DAG, starting from
+catalog statistics at the leaves.  The rules are the classic ones:
+
+* ``column = constant``      → 1 / distinct(column)
+* ``column op constant``     → fraction of the (low, high) range, else 1/3
+* ``column != constant``     → 1 - 1/distinct(column)
+* ``column = column`` (join) → 1 / max(distinct(left), distinct(right))
+* disjunctions               → 1 - Π (1 - s_i), conjunctions → Π s_i
+* group-by                   → min(Π distinct(group columns), rows / 2)
+
+These estimates feed the cost model of :mod:`repro.cost.model`; the paper uses
+"standard techniques ... using statistics about relations" without further
+detail, so faithfulness here means using the textbook formulas consistently
+for all algorithms being compared.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.algebra.columns import ColumnRef, Constant
+from repro.algebra.predicates import (
+    Comparison,
+    Conjunction,
+    Disjunction,
+    Predicate,
+    TruePredicate,
+)
+from repro.algebra.expressions import AggregateFunction
+from repro.catalog.catalog import Catalog
+
+#: Default selectivity for predicates the estimator cannot analyse.
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+#: Default selectivity of an equality against an unknown domain.
+DEFAULT_EQUALITY_SELECTIVITY = 0.1
+#: Floor for estimated row counts: never below one row.
+MIN_ROWS = 1.0
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics of one column of an intermediate result."""
+
+    distinct: float
+    width: int = 8
+    low: Optional[float] = None
+    high: Optional[float] = None
+
+    def bounded(self, rows: float) -> "ColumnStats":
+        """Cap the distinct count by the row count of the owning result."""
+        return ColumnStats(max(1.0, min(self.distinct, rows)), self.width, self.low, self.high)
+
+
+@dataclass(frozen=True)
+class LogicalProperties:
+    """Estimated logical properties of an (intermediate) result."""
+
+    rows: float
+    columns: Dict[ColumnRef, ColumnStats] = field(default_factory=dict)
+
+    @property
+    def tuple_width(self) -> int:
+        """Estimated width of one tuple in bytes."""
+        if not self.columns:
+            return 8
+        return max(1, sum(stat.width for stat in self.columns.values()))
+
+    def column(self, ref: ColumnRef) -> Optional[ColumnStats]:
+        return self.columns.get(ref)
+
+    def distinct(self, ref: ColumnRef) -> float:
+        """Distinct values of *ref*, defaulting to the row count if unknown."""
+        stat = self.columns.get(ref)
+        if stat is None:
+            return max(1.0, self.rows)
+        return max(1.0, min(stat.distinct, max(self.rows, 1.0)))
+
+    def with_rows(self, rows: float) -> "LogicalProperties":
+        rows = max(MIN_ROWS, rows)
+        return LogicalProperties(
+            rows, {ref: stat.bounded(rows) for ref, stat in self.columns.items()}
+        )
+
+
+class Estimator:
+    """Derives logical properties bottom-up from catalog statistics."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+
+    # -- leaves ---------------------------------------------------------------
+    def base_properties(self, table_name: str, alias: Optional[str] = None) -> LogicalProperties:
+        """Properties of a full scan of *table_name*, aliased as *alias*."""
+        table = self._catalog.table(table_name)
+        alias = alias or table_name
+        columns: Dict[ColumnRef, ColumnStats] = {}
+        for column in table.columns:
+            distinct = column.distinct if column.distinct is not None else table.row_count
+            columns[ColumnRef(alias, column.name)] = ColumnStats(
+                max(1.0, float(distinct)),
+                column.width,
+                None if column.low is None else float(column.low),
+                None if column.high is None else float(column.high),
+            )
+        return LogicalProperties(float(max(1, table.row_count)), columns)
+
+    # -- selections -------------------------------------------------------------
+    def comparison_selectivity(self, comparison: Comparison, props: LogicalProperties) -> float:
+        """Selectivity of a single comparison against *props*."""
+        comparison = comparison.normalized()
+        if comparison.is_column_column():
+            left = props.distinct(comparison.left)
+            right = props.distinct(comparison.right)
+            if comparison.op == "=":
+                return 1.0 / max(left, right, 1.0)
+            if comparison.op == "!=":
+                return 1.0 - 1.0 / max(left, right, 1.0)
+            return DEFAULT_SELECTIVITY
+        if not comparison.is_column_constant():
+            return DEFAULT_SELECTIVITY
+        column = comparison.left
+        value = comparison.right.value
+        stat = props.column(column)
+        if comparison.op == "=":
+            if stat is None:
+                return DEFAULT_EQUALITY_SELECTIVITY
+            return 1.0 / max(1.0, stat.distinct)
+        if comparison.op == "!=":
+            if stat is None:
+                return 1.0 - DEFAULT_EQUALITY_SELECTIVITY
+            return 1.0 - 1.0 / max(1.0, stat.distinct)
+        if stat is None or stat.low is None or stat.high is None or not isinstance(value, (int, float)):
+            return DEFAULT_SELECTIVITY
+        low, high = stat.low, stat.high
+        if high <= low:
+            return DEFAULT_SELECTIVITY
+        fraction = (float(value) - low) / (high - low)
+        fraction = min(1.0, max(0.0, fraction))
+        if comparison.op in ("<", "<="):
+            selectivity = fraction
+        else:  # ">", ">="
+            selectivity = 1.0 - fraction
+        return min(1.0, max(1.0 / max(props.rows, 1.0), selectivity))
+
+    def predicate_selectivity(self, predicate: Optional[Predicate], props: LogicalProperties) -> float:
+        """Selectivity of an arbitrary predicate (independence assumed)."""
+        if predicate is None or isinstance(predicate, TruePredicate):
+            return 1.0
+        if isinstance(predicate, Comparison):
+            return self.comparison_selectivity(predicate, props)
+        if isinstance(predicate, Conjunction):
+            selectivity = 1.0
+            for child in predicate.children:
+                selectivity *= self.predicate_selectivity(child, props)
+            return selectivity
+        if isinstance(predicate, Disjunction):
+            inverse = 1.0
+            for child in predicate.children:
+                inverse *= 1.0 - self.predicate_selectivity(child, props)
+            return 1.0 - inverse
+        return DEFAULT_SELECTIVITY
+
+    def apply_predicate(self, props: LogicalProperties, predicate: Optional[Predicate]) -> LogicalProperties:
+        """Properties after filtering *props* with *predicate*."""
+        selectivity = self.predicate_selectivity(predicate, props)
+        return props.with_rows(props.rows * selectivity)
+
+    # -- joins ---------------------------------------------------------------
+    def join(
+        self,
+        left: LogicalProperties,
+        right: LogicalProperties,
+        predicates: Sequence[Predicate],
+    ) -> LogicalProperties:
+        """Properties of joining *left* and *right* on *predicates*."""
+        columns = dict(left.columns)
+        columns.update(right.columns)
+        cross = LogicalProperties(max(MIN_ROWS, left.rows * right.rows), columns)
+        selectivity = 1.0
+        for predicate in predicates:
+            selectivity *= self.predicate_selectivity(predicate, cross)
+        return cross.with_rows(cross.rows * selectivity)
+
+    # -- aggregation -------------------------------------------------------------
+    def aggregate(
+        self,
+        child: LogicalProperties,
+        group_by: Sequence[ColumnRef],
+        aggregates: Sequence[AggregateFunction],
+        output_alias: str = "agg",
+    ) -> LogicalProperties:
+        """Properties of a group-by aggregation over *child*.
+
+        Output columns are renamed to ``output_alias.<name>`` so that parent
+        expressions can reference them without knowing the child structure.
+        """
+        if not group_by:
+            groups = 1.0
+        else:
+            groups = 1.0
+            for column in group_by:
+                groups *= child.distinct(column)
+            groups = min(groups, max(1.0, child.rows / 2.0))
+        columns: Dict[ColumnRef, ColumnStats] = {}
+        for column in group_by:
+            stat = child.column(column) or ColumnStats(child.distinct(column))
+            columns[ColumnRef(output_alias, column.column)] = ColumnStats(
+                min(stat.distinct, groups), stat.width, stat.low, stat.high
+            )
+        for aggregate in aggregates:
+            columns[ColumnRef(output_alias, aggregate.alias)] = ColumnStats(
+                max(1.0, groups), 8, None, None
+            )
+        return LogicalProperties(max(MIN_ROWS, groups), columns)
+
+    # -- projections -------------------------------------------------------------
+    def project(self, child: LogicalProperties, columns: Sequence[ColumnRef]) -> LogicalProperties:
+        """Properties after projecting *child* onto *columns*."""
+        kept = {ref: stat for ref, stat in child.columns.items() if ref in set(columns)}
+        if not kept:
+            kept = dict(child.columns)
+        return LogicalProperties(child.rows, kept)

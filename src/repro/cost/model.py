@@ -1,0 +1,146 @@
+"""The cost model, with the constants used in the paper's performance study.
+
+Section 6 of the paper fixes the model precisely:
+
+* block size 4 KB, 6 MB of memory available to each operator;
+* seek time 10 ms, transfer time 2 ms/block for reads and 4 ms/block for
+  writes, CPU cost 0.2 ms per block of data processed;
+* intermediate results are pipelined (iterator model) and written to disk only
+  when materialized for sharing, in which case the materialization cost is the
+  cost of writing the result sequentially.
+
+All costs are expressed in **seconds of estimated elapsed time**, as in the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Cost:
+    """A cost broken into I/O and CPU components (both in seconds)."""
+
+    io: float = 0.0
+    cpu: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.io + self.cpu
+
+    def __add__(self, other: "Cost") -> "Cost":
+        return Cost(self.io + other.io, self.cpu + other.cpu)
+
+    def scaled(self, factor: float) -> "Cost":
+        return Cost(self.io * factor, self.cpu * factor)
+
+    def __float__(self) -> float:
+        return self.total
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cost primitives shared by the optimizer and the simulated executor.
+
+    Instances are immutable; use :meth:`with_memory` to derive variants (the
+    Section 6.4 memory-size study uses 6 MB, 32 MB, and 128 MB).
+    """
+
+    block_size: int = 4096
+    memory_bytes: int = 6 * 1024 * 1024
+    seek_time: float = 0.010
+    read_time_per_block: float = 0.002
+    write_time_per_block: float = 0.004
+    cpu_time_per_block: float = 0.0002
+    #: CPU cost charged per output tuple of an operator, modelling per-tuple
+    #: evaluation overhead on top of the per-block charge.
+    cpu_time_per_tuple: float = 0.0000002
+    #: Random-I/O cost of one index probe (traversal + one leaf/data block).
+    index_probe_ios: int = 2
+
+    # -- derived ---------------------------------------------------------------
+    @property
+    def memory_blocks(self) -> int:
+        """Number of buffer blocks available to one operator."""
+        return max(3, self.memory_bytes // self.block_size)
+
+    def with_memory(self, memory_bytes: int) -> "CostModel":
+        """Return a copy of the model with a different per-operator memory."""
+        return replace(self, memory_bytes=memory_bytes)
+
+    # -- primitives -------------------------------------------------------------
+    def blocks(self, rows: float, tuple_width: float) -> int:
+        """Number of blocks occupied by *rows* tuples of *tuple_width* bytes."""
+        if rows <= 0:
+            return 1
+        per_block = max(1, int(self.block_size // max(1.0, tuple_width)))
+        return max(1, int(math.ceil(rows / per_block)))
+
+    def cpu(self, blocks: float, rows: float = 0.0) -> Cost:
+        """CPU cost of processing *blocks* blocks (plus optional per-tuple cost)."""
+        return Cost(0.0, blocks * self.cpu_time_per_block + rows * self.cpu_time_per_tuple)
+
+    def sequential_read(self, blocks: float) -> Cost:
+        """Cost of sequentially reading *blocks* blocks (one initial seek)."""
+        return Cost(self.seek_time + blocks * self.read_time_per_block, blocks * self.cpu_time_per_block)
+
+    def sequential_write(self, blocks: float) -> Cost:
+        """Cost of sequentially writing *blocks* blocks (one initial seek)."""
+        return Cost(self.seek_time + blocks * self.write_time_per_block, blocks * self.cpu_time_per_block)
+
+    def random_reads(self, count: float, blocks_each: float = 1.0) -> Cost:
+        """Cost of *count* random accesses reading *blocks_each* blocks each."""
+        io = count * (self.seek_time + blocks_each * self.read_time_per_block)
+        return Cost(io, count * blocks_each * self.cpu_time_per_block)
+
+    # -- composite primitives ------------------------------------------------
+    def external_sort(self, blocks: float, rows: float) -> Cost:
+        """Cost of an external merge sort of *blocks* blocks.
+
+        A dataset that fits in memory is sorted at CPU cost only; otherwise
+        the classic ``2 * blocks * passes`` I/O formula is used.
+        """
+        if blocks <= self.memory_blocks:
+            return self.cpu(blocks, rows)
+        fan_in = max(2, self.memory_blocks - 1)
+        runs = math.ceil(blocks / self.memory_blocks)
+        passes = max(1, math.ceil(math.log(max(runs, 2), fan_in)))
+        io_blocks = 2.0 * blocks * passes
+        io = 2 * passes * self.seek_time + io_blocks * (
+            (self.read_time_per_block + self.write_time_per_block) / 2.0
+        )
+        return Cost(io, io_blocks * self.cpu_time_per_block + rows * self.cpu_time_per_tuple)
+
+    def materialization_cost(self, rows: float, tuple_width: float) -> Cost:
+        """Cost of writing a result to disk for sharing (sequential write)."""
+        return self.sequential_write(self.blocks(rows, tuple_width))
+
+    def reuse_cost(self, rows: float, tuple_width: float) -> Cost:
+        """Cost of reading back a materialized result (sequential read)."""
+        return self.sequential_read(self.blocks(rows, tuple_width))
+
+    def index_build_cost(self, rows: float, tuple_width: float) -> Cost:
+        """Cost of building a temporary index on a materialized result.
+
+        Modelled as a sort of the key column plus writing the index blocks
+        (keys + row ids, assumed 16 bytes per entry).
+        """
+        data_blocks = self.blocks(rows, tuple_width)
+        index_blocks = self.blocks(rows, 16)
+        sort = self.external_sort(index_blocks, rows)
+        return sort + self.sequential_write(index_blocks) + self.cpu(data_blocks)
+
+    def index_probe_cost(self, matching_rows: float, tuple_width: float) -> Cost:
+        """Cost of one index lookup retrieving *matching_rows* rows."""
+        matching_blocks = self.blocks(matching_rows, tuple_width) if matching_rows > 0 else 0
+        blocks_read = self.index_probe_ios + max(0, matching_blocks - 1)
+        return Cost(
+            self.seek_time + blocks_read * self.read_time_per_block,
+            blocks_read * self.cpu_time_per_block + matching_rows * self.cpu_time_per_tuple,
+        )
+
+
+#: The default cost model instance used throughout the library.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,736 @@
+"""Construction of the multi-query AND-OR DAG from logical expressions.
+
+The builder performs the tasks described in Section 2 of the paper:
+
+1. Each query expression is normalized into *query blocks* (maximal
+   select/join regions with selections pushed to the leaves — the optimizer's
+   "select push down" rule) and represented in the AND-OR DAG.
+2. The join-order space of every block is expanded: one equivalence node per
+   connected sub-set of the block's relations, with one join operation node
+   per connected binary partition (both input orders).  This yields exactly
+   the duplicate-free expanded DAG that transformation-based generation with
+   join associativity/commutativity plus the [PGLK97] optimization produces.
+3. Equivalent sub-expressions from different queries (or different parts of
+   one query) are **unified** through canonical equivalence keys, so the DAG
+   of a batch of queries shares every common sub-expression.
+4. **Subsumption derivations** are added (see :mod:`repro.dag.subsumption`).
+5. Every operation node is priced with the cheapest applicable physical
+   algorithm, and every equivalence node receives materialization and reuse
+   costs, so that the multi-query optimization algorithms can work purely on
+   the DAG.
+
+Correlated nested queries (:class:`repro.algebra.nested.CorrelatedSubqueryFilter`)
+are represented with a ``nested_apply`` operation whose invariant input has a
+*use multiplier* equal to the estimated number of invocations, plus an
+index-augmented variant of the invariant result so that temporary index
+selection falls out of the ordinary materialization choice (Section 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from repro.algebra.columns import ColumnRef
+from repro.algebra.expressions import (
+    Aggregate,
+    Expression,
+    Join,
+    Project,
+    Relation,
+    Select,
+)
+from repro.algebra.nested import CorrelatedSubqueryFilter
+from repro.algebra.predicates import Comparison, Predicate, and_, conjuncts_of
+from repro.catalog.catalog import Catalog
+from repro.cost import algorithms as alg
+from repro.cost.estimation import Estimator, LogicalProperties
+from repro.cost.model import CostModel, DEFAULT_COST_MODEL
+from repro.dag.nodes import (
+    AggregateOp,
+    Dag,
+    EquivalenceNode,
+    JoinOp,
+    NestedApplyOp,
+    NoOp,
+    Operator,
+    ProjectOp,
+    ScanOp,
+    SelectOp,
+)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A named query to be optimized as part of a batch."""
+
+    name: str
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class IndexBuildOp(Operator):
+    """Derive an index-augmented copy of the child result (temporary index).
+
+    Materializing the equivalence node that carries this operation corresponds
+    to materializing the child's result *with* a temporary index on
+    ``column`` — the reuse cost of the node is a single index probe instead of
+    a full read, which is what makes it attractive for correlated nested-query
+    invocations.
+    """
+
+    column: ColumnRef
+    name: str = "build_index"
+
+    def describe(self) -> str:
+        return f"build_index({self.column})"
+
+
+@dataclass
+class _Leaf:
+    """One input of a query block before canonicalization."""
+
+    alias: str
+    table: Optional[str]
+    sub_expression: Optional[Expression]
+    predicates: List[Predicate] = field(default_factory=list)
+
+
+def _leaf_count(node: EquivalenceNode) -> int:
+    """Number of block leaves under a join equivalence node (1 otherwise)."""
+    key = node.key
+    if isinstance(key, tuple) and key and key[0] == "join":
+        return len(key[1])
+    return 1
+
+
+def _referenced_column_names(expressions) -> frozenset:
+    """Collect the names of every column referenced anywhere in the batch.
+
+    The names are collected globally (TPC-D column names carry their table
+    prefix, so there is no ambiguity); they drive the early-projection pruning
+    of estimated intermediate-result widths.
+    """
+    names = set()
+
+    def visit_predicate(predicate: Predicate) -> None:
+        for column in predicate.columns():
+            names.add(column.column)
+
+    def visit(expression: Expression) -> None:
+        if isinstance(expression, Select):
+            visit_predicate(expression.predicate)
+        elif isinstance(expression, Join):
+            visit_predicate(expression.predicate)
+        elif isinstance(expression, Project):
+            for column in expression.columns:
+                names.add(column.column)
+        elif isinstance(expression, Aggregate):
+            for column in expression.group_by:
+                names.add(column.column)
+            for aggregate in expression.aggregates:
+                names.add(aggregate.alias)
+                if aggregate.column is not None:
+                    names.add(aggregate.column.column)
+        elif isinstance(expression, CorrelatedSubqueryFilter):
+            for predicate in expression.correlation:
+                visit_predicate(predicate)
+            names.add(expression.outer_column.column)
+            names.add(expression.aggregate.alias)
+            if expression.aggregate.column is not None:
+                names.add(expression.aggregate.column.column)
+        for child in expression.children():
+            visit(child)
+
+    for expression in expressions:
+        visit(expression)
+    return frozenset(names)
+
+
+class DagBuilder:
+    """Builds the combined AND-OR DAG for a batch of queries."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        enable_subsumption: bool = True,
+        max_block_relations: int = 14,
+        prune_unreferenced_columns: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.cost_model = cost_model
+        self.estimator = Estimator(catalog)
+        self.enable_subsumption = enable_subsumption
+        self.max_block_relations = max_block_relations
+        #: Early projection: drop columns never referenced by the batch from
+        #: the estimated properties, so intermediate-result widths (and hence
+        #: materialization/reuse costs) reflect what a real optimizer carrying
+        #: pushed-down projections would see.
+        self.prune_unreferenced_columns = prune_unreferenced_columns
+        self._referenced_columns: Optional[frozenset] = None
+        self.dag = Dag()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def build(self, queries: Sequence[Query]) -> Dag:
+        """Build and return the combined DAG of *queries*."""
+        if not queries:
+            raise ValueError("cannot build a DAG for an empty batch of queries")
+        if self.prune_unreferenced_columns:
+            self._referenced_columns = _referenced_column_names(q.expression for q in queries)
+        roots: List[EquivalenceNode] = []
+        for query in queries:
+            roots.append(self.build_expression(query.expression))
+        if self.enable_subsumption:
+            # Imported here to avoid a circular import at module load time.
+            from repro.dag.subsumption import apply_subsumption
+
+            apply_subsumption(self)
+        pseudo_props = LogicalProperties(1.0, {})
+        pseudo_root = self.dag.equivalence(("pseudo-root",), pseudo_props, "pseudo-root")
+        self.dag.add_operation(pseudo_root, NoOp(), roots, 0.0)
+        self.dag.set_root(pseudo_root, roots)
+        self.dag.query_names = [q.name for q in queries]
+        self._assign_materialization_costs()
+        self.dag.assign_topological_numbers()
+        return self.dag
+
+    # ------------------------------------------------------------------
+    # Expression dispatch
+    # ------------------------------------------------------------------
+    def build_expression(self, expression: Expression) -> EquivalenceNode:
+        """Build (or reuse) the equivalence node for *expression*."""
+        if isinstance(expression, Aggregate):
+            child = self.build_expression(expression.child)
+            return self._build_aggregate(expression, child)
+        if isinstance(expression, Project):
+            child = self.build_expression(expression.child)
+            return self._build_project(expression, child)
+        if isinstance(expression, CorrelatedSubqueryFilter):
+            return self._build_correlated(expression)
+        if isinstance(expression, (Relation, Select, Join)):
+            return self._build_block(expression)
+        raise TypeError(f"unsupported expression type: {type(expression).__name__}")
+
+    # ------------------------------------------------------------------
+    # Leaves and simple operators
+    # ------------------------------------------------------------------
+    def scan_equivalence(
+        self, table: str, alias: str, predicates: Sequence[Predicate]
+    ) -> EquivalenceNode:
+        """Equivalence node for scanning *table* with pushed-down *predicates*."""
+        stored = self.stored_table(table, alias)
+        predicate = and_(*predicates) if predicates else None
+        key = ("scan", table, alias, frozenset(predicates))
+        existing = self.dag.find(key)
+        if existing is not None:
+            return existing
+        output = self._prune_columns(self.estimator.apply_predicate(stored.properties, predicate))
+        label = f"scan({alias})" if predicate is None else f"σ[{predicate}]({alias})"
+        node = self.dag.equivalence(
+            key, output, label, base_table=table, scan_alias=alias
+        )
+        choice = alg.choose_scan(
+            self.cost_model, self.catalog, table, alias, predicate, stored.properties, output
+        )
+        operator = ScanOp(table, alias, predicate, algorithm=choice.name)
+        self.dag.add_operation(node, operator, [stored], choice.total)
+        return node
+
+    def stored_table(self, table: str, alias: str) -> EquivalenceNode:
+        """The cost-zero leaf equivalence node representing the stored table."""
+        key = ("table", table, alias)
+        existing = self.dag.find(key)
+        if existing is not None:
+            return existing
+        props = self.estimator.base_properties(table, alias)
+        return self.dag.equivalence(
+            key, props, f"table({alias})", is_base=True, base_table=table, scan_alias=alias
+        )
+
+    def _prune_columns(self, props: LogicalProperties) -> LogicalProperties:
+        """Keep only columns referenced somewhere in the batch (early projection).
+
+        Scans still read the full-width base table (their cost uses the stored
+        table's true width); only the *carried* width of results is reduced,
+        which is what pushed-down projections achieve in a real optimizer.
+        """
+        if self._referenced_columns is None:
+            return props
+        kept = {
+            ref: stat
+            for ref, stat in props.columns.items()
+            if ref.column in self._referenced_columns
+        }
+        if not kept:
+            kept = dict(props.columns)
+        return LogicalProperties(props.rows, kept)
+
+    def select_equivalence(
+        self,
+        child: EquivalenceNode,
+        predicates: Sequence[Predicate],
+        is_subsumption: bool = False,
+    ) -> EquivalenceNode:
+        """Equivalence node for a selection over an arbitrary child node."""
+        predicate = and_(*predicates)
+        key = ("select", child.key, frozenset(predicates))
+        existing = self.dag.find(key)
+        if existing is not None:
+            return existing
+        output = self.estimator.apply_predicate(child.properties, predicate)
+        node = self.dag.equivalence(key, output, f"σ[{predicate}]({child.label})")
+        cost = alg.filter_cost(self.cost_model, child.rows, output.rows)
+        self.dag.add_operation(
+            node, SelectOp(predicate), [child], cost.total, is_subsumption=is_subsumption
+        )
+        return node
+
+    def _build_project(self, expression: Project, child: EquivalenceNode) -> EquivalenceNode:
+        key = ("project", child.key, expression.columns)
+        existing = self.dag.find(key)
+        if existing is not None:
+            return existing
+        output = self.estimator.project(child.properties, expression.columns)
+        node = self.dag.equivalence(key, output, f"π({child.label})")
+        cost = alg.project_cost(self.cost_model, child.rows)
+        self.dag.add_operation(node, ProjectOp(expression.columns), [child], cost.total)
+        return node
+
+    def _build_aggregate(self, expression: Aggregate, child: EquivalenceNode) -> EquivalenceNode:
+        return self.aggregate_equivalence(
+            child, expression.group_by, expression.aggregates, expression.name
+        )
+
+    def aggregate_equivalence(
+        self,
+        child: EquivalenceNode,
+        group_by: Tuple[ColumnRef, ...],
+        aggregates: Tuple,
+        output_alias: str,
+        is_subsumption: bool = False,
+    ) -> EquivalenceNode:
+        """Equivalence node for a group-by aggregation over *child*."""
+        key = ("agg", child.key, tuple(group_by), tuple(aggregates), output_alias)
+        existing = self.dag.find(key)
+        if existing is not None:
+            return existing
+        output = self.estimator.aggregate(child.properties, group_by, aggregates, output_alias)
+        group_desc = ", ".join(c.column for c in group_by) or "()"
+        node = self.dag.equivalence(key, output, f"γ[{group_desc}]({child.label})")
+        choice = alg.choose_aggregate(self.cost_model, child.properties, group_by, output.rows)
+        operator = AggregateOp(tuple(group_by), tuple(aggregates), output_alias)
+        self.dag.add_operation(
+            node, operator, [child], choice.total, is_subsumption=is_subsumption
+        )
+        return node
+
+    # ------------------------------------------------------------------
+    # Correlated nested queries
+    # ------------------------------------------------------------------
+    def _build_correlated(self, expression: CorrelatedSubqueryFilter) -> EquivalenceNode:
+        outer = self.build_expression(expression.outer)
+        invariant = self.build_expression(expression.invariant)
+
+        inner_columns = set(invariant.properties.columns)
+        inner_corr_cols = []
+        outer_corr_cols = []
+        for predicate in expression.correlation:
+            for column in predicate.columns():
+                if column in inner_columns:
+                    inner_corr_cols.append(column)
+                else:
+                    outer_corr_cols.append(column)
+
+        invocations = 1.0
+        for column in outer_corr_cols:
+            invocations *= outer.properties.distinct(column)
+        invocations = max(1.0, min(invocations, outer.rows))
+
+        matches_per_probe = invariant.rows
+        for column in inner_corr_cols:
+            matches_per_probe /= max(1.0, invariant.properties.distinct(column))
+        matches_per_probe = max(1.0, matches_per_probe)
+
+        # The index-augmented variant of the invariant result: its reuse cost
+        # is a single probe, so materializing it makes correlated invocations
+        # cheap.  Temporary index selection is thereby an ordinary
+        # materialization decision (Section 5 of the paper).
+        index_column = inner_corr_cols[0] if inner_corr_cols else None
+        apply_children: List[EquivalenceNode] = [outer]
+        multipliers: List[float] = [1.0]
+        if index_column is not None:
+            indexed = self._indexed_equivalence(invariant, index_column, matches_per_probe)
+            apply_children.append(indexed)
+        else:
+            apply_children.append(invariant)
+        multipliers.append(invocations)
+
+        output_rows = max(1.0, min(outer.rows, invocations))
+        output = LogicalProperties(output_rows, dict(outer.properties.columns))
+        key = (
+            "apply",
+            outer.key,
+            invariant.key,
+            tuple(expression.correlation),
+            expression.aggregate,
+            expression.outer_column,
+            expression.op,
+        )
+        existing = self.dag.find(key)
+        if existing is not None:
+            return existing
+        node = self.dag.equivalence(key, output, f"apply({outer.label})")
+        per_invocation_cpu = self.cost_model.cpu(0, matches_per_probe).total
+        local_cost = invocations * per_invocation_cpu + self.cost_model.cpu(0, outer.rows).total
+        operator = NestedApplyOp(
+            tuple(expression.correlation),
+            invocations,
+            aggregate=expression.aggregate,
+            outer_column=expression.outer_column,
+            comparison=expression.op,
+        )
+        self.dag.add_operation(node, operator, apply_children, local_cost, multipliers)
+
+        # Alternative derivation: plain correlated evaluation with the
+        # correlation predicate pushed into the nested query (the baseline a
+        # single-query optimizer would use).  The per-invocation cost touches
+        # only the rows matching the correlation value, via base-table indices,
+        # and nothing is shared across invocations.  The alternative exists
+        # only for equality correlations: with inequality correlations (the
+        # modified Q2 of Section 6.1) every invocation matches a large part of
+        # the invariant and no cheap pushdown is possible, which is exactly
+        # why the paper's Volcano estimate for that query explodes.
+        equality_correlation = all(
+            isinstance(p, Comparison) and p.op == "=" for p in expression.correlation
+        )
+        if equality_correlation and inner_corr_cols:
+            pushdown_cost = self._correlated_pushdown_cost(invariant, matches_per_probe)
+            pushdown_local = invocations * pushdown_cost + self.cost_model.cpu(0, outer.rows).total
+            # The invariant stays a child (so executable plans can evaluate the
+            # nested query) but with a zero use multiplier: its cost is already
+            # folded into the per-invocation pushdown estimate.
+            self.dag.add_operation(
+                node,
+                NestedApplyOp(
+                    tuple(expression.correlation),
+                    invocations,
+                    name="correlated_apply",
+                    aggregate=expression.aggregate,
+                    outer_column=expression.outer_column,
+                    comparison=expression.op,
+                ),
+                [outer, invariant],
+                pushdown_local,
+                child_multipliers=[1.0, 0.0],
+            )
+        return node
+
+    def _correlated_pushdown_cost(
+        self, invariant: EquivalenceNode, matches_per_probe: float
+    ) -> float:
+        """Estimated cost of one correlated invocation of the nested query.
+
+        The correlation value restricts the invariant sub-expression to
+        ``matches_per_probe`` rows, fetched through an index probe; each
+        matching row then drives index lookups in the remaining relations of
+        the nested query.
+        """
+        leaves = _leaf_count(invariant)
+        probe = self.cost_model.index_probe_cost(matches_per_probe, invariant.tuple_width)
+        per_row = self.cost_model.index_probe_cost(1.0, invariant.tuple_width)
+        return probe.total + matches_per_probe * max(0, leaves - 1) * per_row.total
+
+    def _indexed_equivalence(
+        self, child: EquivalenceNode, column: ColumnRef, matches_per_probe: float
+    ) -> EquivalenceNode:
+        """An index-augmented copy of *child* (see :class:`IndexBuildOp`)."""
+        key = ("indexed", child.key, column)
+        existing = self.dag.find(key)
+        if existing is not None:
+            return existing
+        node = self.dag.equivalence(key, child.properties, f"indexed[{column}]({child.label})")
+        build_cost = self.cost_model.index_build_cost(child.rows, child.tuple_width)
+        self.dag.add_operation(node, IndexBuildOp(column), [child], build_cost.total)
+        node.reuse_cost = self.cost_model.index_probe_cost(
+            matches_per_probe, child.tuple_width
+        ).total
+        node.created_by_subsumption = False
+        return node
+
+    # ------------------------------------------------------------------
+    # Join blocks
+    # ------------------------------------------------------------------
+    def _build_block(self, expression: Expression) -> EquivalenceNode:
+        leaves: List[_Leaf] = []
+        join_predicates: List[Predicate] = []
+        self._extract(expression, leaves, join_predicates)
+        if len(leaves) > self.max_block_relations:
+            raise ValueError(
+                f"query block has {len(leaves)} relations; the join-space expansion "
+                f"is limited to {self.max_block_relations}"
+            )
+
+        mapping = self._canonical_aliases(leaves)
+        leaf_nodes: Dict[str, EquivalenceNode] = {}
+        for leaf in leaves:
+            canonical = mapping[leaf.alias]
+            predicates = [p.rename(mapping) for p in leaf.predicates]
+            if leaf.table is not None:
+                node = self.scan_equivalence(leaf.table, canonical, predicates)
+            else:
+                node = self.build_expression(leaf.sub_expression)
+                if predicates:
+                    node = self.select_equivalence(node, predicates)
+            leaf_nodes[canonical] = node
+
+        renamed_joins = [p.rename(mapping) for p in join_predicates]
+        aliases = [mapping[leaf.alias] for leaf in leaves]
+        if len(aliases) == 1:
+            only = leaf_nodes[aliases[0]]
+            return only
+        return self._expand_join_space(aliases, leaf_nodes, renamed_joins)
+
+    def _extract(
+        self, expression: Expression, leaves: List[_Leaf], join_predicates: List[Predicate]
+    ) -> None:
+        """Flatten a select/join region into block leaves and join predicates."""
+        if isinstance(expression, Relation):
+            leaves.append(_Leaf(expression.name, expression.table, None))
+            return
+        if isinstance(expression, Join):
+            self._extract(expression.left, leaves, join_predicates)
+            self._extract(expression.right, leaves, join_predicates)
+            self._distribute(expression.predicate, leaves, join_predicates)
+            return
+        if isinstance(expression, Select):
+            self._extract(expression.child, leaves, join_predicates)
+            self._distribute(expression.predicate, leaves, join_predicates)
+            return
+        alias = getattr(expression, "name", None) or f"subquery{len(leaves)}"
+        leaves.append(_Leaf(alias, None, expression))
+
+    @staticmethod
+    def _distribute(
+        predicate: Predicate, leaves: List[_Leaf], join_predicates: List[Predicate]
+    ) -> None:
+        by_alias = {leaf.alias: leaf for leaf in leaves}
+        for conjunct in conjuncts_of(predicate):
+            relations = conjunct.relations()
+            if len(relations) == 1:
+                alias = next(iter(relations))
+                if alias in by_alias:
+                    by_alias[alias].predicates.append(conjunct)
+                    continue
+            join_predicates.append(conjunct)
+
+    @staticmethod
+    def _canonical_aliases(leaves: Sequence[_Leaf]) -> Dict[str, str]:
+        """Canonicalize aliases so identical sub-expressions unify across queries.
+
+        A base table referenced once in the block is addressed by its table
+        name; further occurrences get a ``#k`` suffix.  Opaque (non-base)
+        leaves keep their own alias.
+        """
+        counts: Dict[str, int] = {}
+        for leaf in leaves:
+            if leaf.table is not None:
+                counts[leaf.table] = counts.get(leaf.table, 0) + 1
+        seen: Dict[str, int] = {}
+        mapping: Dict[str, str] = {}
+        for leaf in leaves:
+            if leaf.table is None:
+                mapping[leaf.alias] = leaf.alias
+                continue
+            occurrence = seen.get(leaf.table, 0)
+            seen[leaf.table] = occurrence + 1
+            if counts[leaf.table] == 1:
+                mapping[leaf.alias] = leaf.table
+            else:
+                mapping[leaf.alias] = leaf.table if occurrence == 0 else f"{leaf.table}#{occurrence + 1}"
+        return mapping
+
+    def _expand_join_space(
+        self,
+        aliases: Sequence[str],
+        leaf_nodes: Dict[str, EquivalenceNode],
+        join_predicates: Sequence[Predicate],
+    ) -> EquivalenceNode:
+        """Create one equivalence node per connected sub-set of the block."""
+        order = list(aliases)
+        index_of = {alias: i for i, alias in enumerate(order)}
+        n = len(order)
+        alias_set = set(order)
+
+        # Join graph (adjacency as bitmasks).  Predicates referencing aliases
+        # outside the block (e.g. correlation columns) still connect the block
+        # aliases they mention.
+        adjacency = [0] * n
+        pred_masks: List[Tuple[int, Predicate]] = []
+        for predicate in join_predicates:
+            members = [index_of[a] for a in predicate.relations() if a in alias_set]
+            mask = 0
+            for member in members:
+                mask |= 1 << member
+            pred_masks.append((mask, predicate))
+            for a, b in itertools.combinations(members, 2):
+                adjacency[a] |= 1 << b
+                adjacency[b] |= 1 << a
+        # Make the graph connected (cross products where unavoidable).
+        component = self._components(n, adjacency)
+        representatives = {}
+        for i, comp in enumerate(component):
+            representatives.setdefault(comp, i)
+        reps = sorted(representatives.values())
+        for a, b in zip(reps, reps[1:]):
+            adjacency[a] |= 1 << b
+            adjacency[b] |= 1 << a
+
+        def connected(mask: int) -> bool:
+            start = mask & -mask
+            seen = start
+            frontier = start
+            while frontier:
+                reachable = 0
+                bits = frontier
+                while bits:
+                    low = bits & -bits
+                    reachable |= adjacency[low.bit_length() - 1]
+                    bits ^= low
+                new = reachable & mask & ~seen
+                if not new:
+                    break
+                seen |= new
+                frontier = new
+            return seen == mask
+
+        def applicable(mask: int) -> FrozenSet[Predicate]:
+            return frozenset(p for pmask, p in pred_masks if pmask and (pmask & mask) == pmask)
+
+        nodes_by_mask: Dict[int, EquivalenceNode] = {}
+        for i, alias in enumerate(order):
+            nodes_by_mask[1 << i] = leaf_nodes[alias]
+
+        full_mask = (1 << n) - 1
+        subsets = [m for m in range(3, full_mask + 1) if bin(m).count("1") >= 2 and connected(m)]
+        subsets.sort(key=lambda m: bin(m).count("1"))
+
+        for mask in subsets:
+            predicates = applicable(mask)
+            member_keys = frozenset(nodes_by_mask[1 << i].key for i in range(n) if mask & (1 << i))
+            key = ("join", member_keys, predicates)
+            node = self.dag.find(key)
+            if node is None:
+                props = self._join_properties(mask, nodes_by_mask, predicates, n)
+                labels = "⋈".join(order[i] for i in range(n) if mask & (1 << i))
+                node = self.dag.equivalence(key, props, labels)
+            nodes_by_mask[mask] = node
+            # Enumerate ordered binary partitions (left, right).
+            submask = (mask - 1) & mask
+            while submask:
+                other = mask ^ submask
+                if other and connected(submask) and connected(other):
+                    self._add_join_operation(node, nodes_by_mask[submask], nodes_by_mask[other], predicates)
+                submask = (submask - 1) & mask
+        return nodes_by_mask[full_mask]
+
+    @staticmethod
+    def _components(n: int, adjacency: List[int]) -> List[int]:
+        component = [-1] * n
+        current = 0
+        for start in range(n):
+            if component[start] >= 0:
+                continue
+            stack = [start]
+            component[start] = current
+            while stack:
+                node = stack.pop()
+                bits = adjacency[node]
+                while bits:
+                    low = bits & -bits
+                    neighbour = low.bit_length() - 1
+                    bits ^= low
+                    if component[neighbour] < 0:
+                        component[neighbour] = current
+                        stack.append(neighbour)
+            current += 1
+        return component
+
+    def _join_properties(
+        self,
+        mask: int,
+        nodes_by_mask: Dict[int, EquivalenceNode],
+        predicates: FrozenSet[Predicate],
+        n: int,
+    ) -> LogicalProperties:
+        """Estimate properties of a join sub-set directly from its leaves,
+        so the estimate does not depend on which partition created the node."""
+        members = [nodes_by_mask[1 << i] for i in range(n) if mask & (1 << i)]
+        props = members[0].properties
+        for member in members[1:]:
+            props = self.estimator.join(props, member.properties, [])
+        selectivity = 1.0
+        for predicate in predicates:
+            selectivity *= self.estimator.predicate_selectivity(predicate, props)
+        return props.with_rows(props.rows * selectivity)
+
+    def _add_join_operation(
+        self,
+        node: EquivalenceNode,
+        left: EquivalenceNode,
+        right: EquivalenceNode,
+        all_predicates: FrozenSet[Predicate],
+    ) -> None:
+        left_preds = self._applicable_to(left, all_predicates)
+        right_preds = self._applicable_to(right, all_predicates)
+        connecting = tuple(sorted(all_predicates - left_preds - right_preds, key=str))
+        choice = alg.choose_join(
+            self.cost_model,
+            self.catalog,
+            left.properties,
+            right.properties,
+            connecting,
+            node.rows,
+            left_order=self._delivered_order(left),
+            right_order=self._delivered_order(right),
+            right_base_table=right.base_table,
+            right_alias=right.scan_alias,
+        )
+        operator = JoinOp(connecting, algorithm=choice.name)
+        self.dag.add_operation(node, operator, [left, right], choice.total)
+
+    @staticmethod
+    def _applicable_to(node: EquivalenceNode, predicates: FrozenSet[Predicate]) -> FrozenSet[Predicate]:
+        """Predicates already applied inside *node* (join sub-set or leaf)."""
+        if isinstance(node.key, tuple) and node.key and node.key[0] == "join":
+            return node.key[2]
+        return frozenset()
+
+    def _delivered_order(self, node: EquivalenceNode) -> Tuple[ColumnRef, ...]:
+        """Sort order delivered by a scan of a clustered base table.
+
+        Base-table scans inherit the clustered-index order, which is what
+        makes merge joins on primary-key join columns cheap without explicit
+        sorts.  Intermediate joins conservatively deliver no order.
+        """
+        if node.base_table is None or node.scan_alias is None:
+            return ()
+        index = self.catalog.table(node.base_table).clustered_index()
+        if index is None:
+            return ()
+        return (ColumnRef(node.scan_alias, index.column),)
+
+    # ------------------------------------------------------------------
+    # Materialization costs
+    # ------------------------------------------------------------------
+    def _assign_materialization_costs(self) -> None:
+        for node in self.dag.equivalence_nodes():
+            if node.is_base:
+                continue
+            mat = self.cost_model.materialization_cost(node.rows, node.tuple_width)
+            node.mat_cost = mat.total
+            if node.reuse_cost == 0.0:
+                node.reuse_cost = self.cost_model.reuse_cost(node.rows, node.tuple_width).total

@@ -1,0 +1,435 @@
+"""Nodes and container for the AND-OR DAG.
+
+The container (:class:`Dag`) is shared by every optimization algorithm in
+:mod:`repro.optimizer`.  Equivalence nodes carry the estimated logical
+properties of their result plus the materialization and reuse costs that the
+multi-query algorithms trade off; operation nodes carry the local execution
+cost of the operation (the chosen physical algorithm's cost) so that the
+paper's additive cost recurrence
+
+    cost(o) = exec(o) + Σ_i multiplier_i * C(e_i)
+    cost(e) = min { cost(o) | o ∈ children(e) }        (0 for base tables)
+
+can be evaluated by all algorithms without re-deriving physical details.
+
+Per-child *use multipliers* generalize the recurrence for the nested-query
+extension of Section 5: an input that is probed once per invocation of a
+correlated sub-query has a multiplier equal to the estimated number of
+invocations, which is exactly how the paper multiplies materialization
+benefits for invariant sub-expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.algebra.columns import ColumnRef
+from repro.algebra.expressions import AggregateFunction
+from repro.algebra.predicates import Predicate
+from repro.cost.estimation import LogicalProperties
+
+
+# ---------------------------------------------------------------------------
+# Operator payloads
+# ---------------------------------------------------------------------------
+
+class Operator:
+    """Base class of the logical operator carried by an operation node."""
+
+    name: str = "operator"
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TableOp(Operator):
+    """The stored base table itself (leaf equivalence nodes carry no ops; this
+    operator appears only in executable plans, never in the DAG)."""
+
+    table: str
+    name: str = "table"
+
+    def describe(self) -> str:
+        return f"table({self.table})"
+
+
+@dataclass(frozen=True)
+class ScanOp(Operator):
+    """Scan of a base table with an optional pushed-down filter."""
+
+    table: str
+    alias: str
+    predicate: Optional[Predicate] = None
+    algorithm: str = "table_scan"
+    name: str = "scan"
+
+    def describe(self) -> str:
+        if self.predicate is None:
+            return f"scan({self.table})"
+        return f"scan({self.table}, σ[{self.predicate}])"
+
+
+@dataclass(frozen=True)
+class SelectOp(Operator):
+    """Selection over an intermediate result (including subsumption selects)."""
+
+    predicate: Predicate
+    name: str = "select"
+
+    def describe(self) -> str:
+        return f"σ[{self.predicate}]"
+
+
+@dataclass(frozen=True)
+class ProjectOp(Operator):
+    """Projection onto a set of columns."""
+
+    columns: Tuple[ColumnRef, ...]
+    name: str = "project"
+
+    def describe(self) -> str:
+        return "π[" + ", ".join(str(c) for c in self.columns) + "]"
+
+
+@dataclass(frozen=True)
+class JoinOp(Operator):
+    """Inner join of the two child equivalence nodes."""
+
+    predicates: Tuple[Predicate, ...]
+    algorithm: str = "block_nested_loops_join"
+    name: str = "join"
+
+    def describe(self) -> str:
+        preds = " AND ".join(str(p) for p in self.predicates) or "TRUE"
+        return f"⋈[{preds}]/{self.algorithm}"
+
+
+@dataclass(frozen=True)
+class AggregateOp(Operator):
+    """Group-by aggregation of the child equivalence node."""
+
+    group_by: Tuple[ColumnRef, ...]
+    aggregates: Tuple[AggregateFunction, ...]
+    output_alias: str = "agg"
+    name: str = "aggregate"
+
+    def describe(self) -> str:
+        group = ", ".join(str(c) for c in self.group_by) or "()"
+        return f"γ[{group}]"
+
+
+@dataclass(frozen=True)
+class NestedApplyOp(Operator):
+    """Correlated invocation of a nested sub-query.
+
+    The operator joins the outer input (first child) with the result of the
+    correlated sub-query; the invariant part of the sub-query is the second
+    child, which is probed once per distinct outer binding (its use
+    multiplier).  This is the DAG form of the nested-query extension in
+    Section 5 of the paper.  ``aggregate``, ``outer_column`` and ``comparison``
+    describe the scalar-subquery filter semantics for the executor.
+    """
+
+    correlation: Tuple[Predicate, ...]
+    invocations: float
+    name: str = "nested_apply"
+    aggregate: Optional[AggregateFunction] = None
+    outer_column: Optional[ColumnRef] = None
+    comparison: str = "="
+
+    def describe(self) -> str:
+        return f"apply[{self.invocations:.0f} invocations]"
+
+
+@dataclass(frozen=True)
+class NoOp(Operator):
+    """The pseudo operation at the root of the combined multi-query DAG."""
+
+    name: str = "no-op"
+
+    def describe(self) -> str:
+        return "no-op"
+
+
+# ---------------------------------------------------------------------------
+# DAG nodes
+# ---------------------------------------------------------------------------
+
+class OperationNode:
+    """An AND node: one way of computing its owning equivalence node."""
+
+    __slots__ = (
+        "id",
+        "operator",
+        "children",
+        "child_multipliers",
+        "equivalence",
+        "local_cost",
+        "is_subsumption",
+        "signature",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        operator: Operator,
+        children: Tuple["EquivalenceNode", ...],
+        equivalence: "EquivalenceNode",
+        local_cost: float,
+        child_multipliers: Optional[Tuple[float, ...]] = None,
+        is_subsumption: bool = False,
+    ) -> None:
+        self.id = node_id
+        self.operator = operator
+        self.children = children
+        self.child_multipliers = child_multipliers or tuple(1.0 for _ in children)
+        self.equivalence = equivalence
+        self.local_cost = float(local_cost)
+        self.is_subsumption = is_subsumption
+        self.signature = (operator, tuple(c.id for c in children))
+
+    def __repr__(self) -> str:
+        kids = ",".join(str(c.id) for c in self.children)
+        return f"<Op {self.id} {self.operator.describe()} children=[{kids}]>"
+
+
+class EquivalenceNode:
+    """An OR node: the set of alternative operations producing one result."""
+
+    __slots__ = (
+        "id",
+        "key",
+        "label",
+        "operations",
+        "parents",
+        "properties",
+        "mat_cost",
+        "reuse_cost",
+        "topo_number",
+        "is_base",
+        "base_table",
+        "scan_alias",
+        "created_by_subsumption",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        key: Hashable,
+        properties: LogicalProperties,
+        label: str = "",
+        is_base: bool = False,
+        base_table: Optional[str] = None,
+        scan_alias: Optional[str] = None,
+    ) -> None:
+        self.id = node_id
+        self.key = key
+        self.label = label or str(key)
+        self.operations: List[OperationNode] = []
+        self.parents: List[OperationNode] = []
+        self.properties = properties
+        self.mat_cost = 0.0
+        self.reuse_cost = 0.0
+        self.topo_number = -1
+        self.is_base = is_base
+        #: Base table name if this node is the stored table or a plain scan of
+        #: it (used by index-nested-loops applicability tests).
+        self.base_table = base_table
+        self.scan_alias = scan_alias
+        self.created_by_subsumption = False
+
+    @property
+    def rows(self) -> float:
+        return self.properties.rows
+
+    @property
+    def tuple_width(self) -> int:
+        return self.properties.tuple_width
+
+    def child_equivalences(self) -> Iterator["EquivalenceNode"]:
+        """All equivalence nodes reachable through one operation level."""
+        for operation in self.operations:
+            yield from operation.children
+
+    def parent_equivalences(self) -> Iterator["EquivalenceNode"]:
+        for parent in self.parents:
+            yield parent.equivalence
+
+    def __repr__(self) -> str:
+        return f"<Eq {self.id} {self.label} rows={self.rows:.0f}>"
+
+
+class DagError(RuntimeError):
+    """Raised on structural errors while building or validating the DAG."""
+
+
+class Dag:
+    """The AND-OR DAG of a batch of queries.
+
+    The DAG is rooted at a pseudo equivalence node (``root``) whose single
+    no-op operation has the root equivalence node of every query as an input
+    (Section 2.1 of the paper).
+    """
+
+    def __init__(self) -> None:
+        self._equivalences: List[EquivalenceNode] = []
+        self._operations: List[OperationNode] = []
+        self._by_key: Dict[Hashable, EquivalenceNode] = {}
+        self.root: Optional[EquivalenceNode] = None
+        self.query_roots: List[EquivalenceNode] = []
+        self.query_names: List[str] = []
+
+    # -- construction -----------------------------------------------------------
+    def equivalence(
+        self,
+        key: Hashable,
+        properties: LogicalProperties,
+        label: str = "",
+        is_base: bool = False,
+        base_table: Optional[str] = None,
+        scan_alias: Optional[str] = None,
+    ) -> EquivalenceNode:
+        """Return the equivalence node for *key*, creating it if necessary.
+
+        Key-based lookup is the unification mechanism: two queries (or two
+        parts of one query) that produce the same canonical key share a single
+        equivalence node.
+        """
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing
+        node = EquivalenceNode(
+            len(self._equivalences),
+            key,
+            properties,
+            label,
+            is_base=is_base,
+            base_table=base_table,
+            scan_alias=scan_alias,
+        )
+        self._equivalences.append(node)
+        self._by_key[key] = node
+        return node
+
+    def find(self, key: Hashable) -> Optional[EquivalenceNode]:
+        """Return the equivalence node for *key* if it exists."""
+        return self._by_key.get(key)
+
+    def add_operation(
+        self,
+        equivalence: EquivalenceNode,
+        operator: Operator,
+        children: Sequence[EquivalenceNode],
+        local_cost: float,
+        child_multipliers: Optional[Sequence[float]] = None,
+        is_subsumption: bool = False,
+    ) -> OperationNode:
+        """Add an operation node under *equivalence*, deduplicating repeats.
+
+        Duplicate derivations (same operator, same children) can arise when
+        different queries contribute the same sub-expression; they are
+        detected by signature and returned instead of re-added, mirroring the
+        hashing-based duplicate detection of the Volcano DAG generator.
+        """
+        signature = (operator, tuple(c.id for c in children))
+        for existing in equivalence.operations:
+            if existing.signature == signature:
+                return existing
+        multipliers = tuple(child_multipliers) if child_multipliers is not None else None
+        operation = OperationNode(
+            len(self._operations),
+            operator,
+            tuple(children),
+            equivalence,
+            local_cost,
+            multipliers,
+            is_subsumption,
+        )
+        self._operations.append(operation)
+        equivalence.operations.append(operation)
+        for child in children:
+            child.parents.append(operation)
+        return operation
+
+    def set_root(self, root: EquivalenceNode, query_roots: Sequence[EquivalenceNode]) -> None:
+        self.root = root
+        self.query_roots = list(query_roots)
+
+    # -- access ---------------------------------------------------------------
+    def equivalence_nodes(self) -> Tuple[EquivalenceNode, ...]:
+        return tuple(self._equivalences)
+
+    def operation_nodes(self) -> Tuple[OperationNode, ...]:
+        return tuple(self._operations)
+
+    def __len__(self) -> int:
+        return len(self._equivalences)
+
+    @property
+    def num_equivalence_nodes(self) -> int:
+        return len(self._equivalences)
+
+    @property
+    def num_operation_nodes(self) -> int:
+        return len(self._operations)
+
+    # -- structure maintenance ------------------------------------------------
+    def assign_topological_numbers(self) -> None:
+        """Number equivalence nodes so every descendant precedes its ancestors.
+
+        The greedy algorithm's incremental cost update (Figure 5 of the paper)
+        propagates cost changes in this order using a heap keyed on the
+        topological number.
+        """
+        if self.root is None:
+            raise DagError("cannot topologically number a DAG without a root")
+        visited: Dict[int, int] = {}
+        counter = 0
+        # Iterative post-order DFS to avoid recursion limits on deep DAGs.
+        stack: List[Tuple[EquivalenceNode, bool]] = [(self.root, False)]
+        on_path: set = set()
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                on_path.discard(node.id)
+                if node.id not in visited:
+                    visited[node.id] = counter
+                    node.topo_number = counter
+                    counter += 1
+                continue
+            if node.id in visited:
+                continue
+            if node.id in on_path:
+                raise DagError(f"cycle detected at equivalence node {node!r}")
+            on_path.add(node.id)
+            stack.append((node, True))
+            for operation in node.operations:
+                for child in operation.children:
+                    if child.id not in visited:
+                        stack.append((child, False))
+        # Nodes unreachable from the root (none in practice) get numbers after
+        # the reachable ones so that sorting is still total.
+        for node in self._equivalences:
+            if node.topo_number < 0:
+                node.topo_number = counter
+                counter += 1
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`DagError` on violation."""
+        if self.root is None:
+            raise DagError("DAG has no root")
+        self.assign_topological_numbers()
+        for operation in self._operations:
+            for child in operation.children:
+                if child.topo_number >= operation.equivalence.topo_number:
+                    raise DagError(
+                        "topological order violated between "
+                        f"{operation.equivalence!r} and child {child!r}"
+                    )
+            if len(operation.child_multipliers) != len(operation.children):
+                raise DagError(f"multiplier arity mismatch on {operation!r}")
+        for node in self._equivalences:
+            if not node.operations and not node.is_base:
+                raise DagError(f"non-base equivalence node {node!r} has no operations")

@@ -1,0 +1,116 @@
+"""Sharability detection (Section 4.1 of the paper).
+
+The *degree of sharing* of an equivalence node in an evaluation plan is the
+number of times it occurs in the plan tree (the tree obtained by replicating
+shared nodes); its degree of sharing in the DAG is the maximum over all plans
+represented by the DAG.  A node is **sharable** iff that degree exceeds one —
+only sharable nodes can possibly be worth materializing, which is the first of
+the three optimizations that make the greedy heuristic practical.
+
+The computation follows the paper's recurrence.  ``E[x][z]`` is the degree of
+sharing of ``z`` in the sub-DAG rooted at ``x``::
+
+    E[x][x] = 1
+    E[x][z] = sum over children y of x of E[y][z]      if x is an operation node
+    E[x][z] = max over children y of x of E[y][z]      if x is an equivalence node
+
+and the degree of sharing of ``z`` in the whole DAG is ``E[root][z]``.  As in
+the paper, space is kept small by computing the column for one ``z`` at a
+time.  Use multipliers (nested-query invocation counts) multiply the
+contribution of the corresponding child, so an invariant sub-expression of a
+correlated query is sharable by virtue of its repeated invocations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.dag.nodes import Dag, EquivalenceNode
+
+
+def degree_of_sharing(dag: Dag, target: EquivalenceNode) -> float:
+    """Degree of sharing of *target* in the whole DAG (``E[root][target]``)."""
+    if dag.root is None:
+        raise ValueError("DAG has no root")
+    ancestors = _ancestor_ids(target)
+    memo: Dict[int, float] = {}
+
+    order = sorted(
+        (node for node in dag.equivalence_nodes() if node.id in ancestors),
+        key=lambda node: node.topo_number,
+    )
+    for node in order:
+        if node is target:
+            memo[node.id] = 1.0
+            continue
+        best = 0.0
+        for operation in node.operations:
+            total = 0.0
+            for child, multiplier in zip(operation.children, operation.child_multipliers):
+                if child.id == target.id:
+                    total += multiplier
+                elif child.id in memo:
+                    total += multiplier * memo[child.id]
+            best = max(best, total)
+        memo[node.id] = best
+    return memo.get(dag.root.id, 0.0)
+
+
+def _ancestor_ids(target: EquivalenceNode) -> Set[int]:
+    """Ids of *target* and every equivalence node above it."""
+    seen: Set[int] = {target.id}
+    frontier: List[EquivalenceNode] = [target]
+    while frontier:
+        node = frontier.pop()
+        for parent_op in node.parents:
+            parent = parent_op.equivalence
+            if parent.id not in seen:
+                seen.add(parent.id)
+                frontier.append(parent)
+    return seen
+
+
+def sharable_nodes(dag: Dag, candidates: Iterable[EquivalenceNode] = None) -> List[EquivalenceNode]:
+    """Return the equivalence nodes whose degree of sharing exceeds one.
+
+    *candidates* defaults to every non-base equivalence node with at least two
+    parent operations (a necessary condition for sharability, used as a cheap
+    pre-filter exactly because ``E`` is typically sparse).
+    """
+    if candidates is None:
+        candidates = [
+            node
+            for node in dag.equivalence_nodes()
+            if not node.is_base and node is not dag.root and _may_be_shared(node)
+        ]
+    result = []
+    for node in candidates:
+        if degree_of_sharing(dag, node) > 1.0:
+            result.append(node)
+    return result
+
+
+def _may_be_shared(node: EquivalenceNode) -> bool:
+    if len(node.parents) >= 2:
+        return True
+    for parent in node.parents:
+        multiplier = 0.0
+        for child, factor in zip(parent.children, parent.child_multipliers):
+            if child.id == node.id:
+                multiplier += factor
+        if multiplier > 1.0:
+            return True
+    return False
+
+
+def sharing_degrees(dag: Dag) -> Dict[int, float]:
+    """Degree of sharing for every candidate node, keyed by node id."""
+    degrees: Dict[int, float] = {}
+    for node in dag.equivalence_nodes():
+        if node.is_base or node is dag.root:
+            continue
+        if not _may_be_shared(node):
+            degrees[node.id] = 1.0 if node.parents else 0.0
+            continue
+        degrees[node.id] = degree_of_sharing(dag, node)
+    return degrees

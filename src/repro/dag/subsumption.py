@@ -1,0 +1,312 @@
+"""Subsumption derivations (Section 2.1 of the paper).
+
+After the individual queries have been represented in the DAG, this pass adds
+derivations that let one sub-expression be computed from another:
+
+* **Selection subsumption** — if predicate ``P1`` implies ``P2`` then
+  ``σ_P1(E)`` can be derived as ``σ_P1(σ_P2(E))``; an extra (flagged)
+  selection operation is added between the two equivalence nodes.
+* **Disjunction nodes** — for equality selections on the same column
+  (``σ_{A=5}(E)``, ``σ_{A=10}(E)``) a new node ``σ_{A=5 ∨ A=10}(E)`` is
+  created and both originals are derived from it, representing shared access.
+* **Aggregation subsumption** — ``γ_{dno;sum(sal)}(E)`` and
+  ``γ_{age;sum(sal)}(E)`` are both derivable from ``γ_{dno,age;sum(sal)}(E)``
+  by further group-bys.
+* **Join-level subsumption** — when two queries join the same relations with
+  the same join predicates but *different* single-table selections (the
+  batched and scale-up workloads of Section 6 are full of this pattern), a
+  shared "weaker" join node with the common selections is created and each
+  original join is derived from it by a residual selection.  This is the DAG
+  form of the alternative plans that a transformation-based generator obtains
+  by *not* pushing the differing selections down.
+
+Every operation node added here is flagged ``is_subsumption`` so that
+Volcano-SH can apply its pre-pass/undo rule and reports can count them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.algebra.columns import ColumnRef
+from repro.algebra.expressions import AggregateFunction
+from repro.algebra.predicates import (
+    Comparison,
+    Predicate,
+    and_,
+    implies,
+    or_,
+)
+from repro.cost import algorithms as alg
+from repro.dag.nodes import AggregateOp, EquivalenceNode, ScanOp, SelectOp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dag.builder import DagBuilder
+
+
+def apply_subsumption(builder: "DagBuilder") -> int:
+    """Add all subsumption derivations to the builder's DAG.
+
+    Returns the number of derivations (operation nodes) added.
+    """
+    added = 0
+    added += _selection_subsumption(builder)
+    added += _disjunction_subsumption(builder)
+    added += _aggregate_subsumption(builder)
+    added += _join_subsumption(builder)
+    return added
+
+
+# ---------------------------------------------------------------------------
+# Selection subsumption on scans and selects
+# ---------------------------------------------------------------------------
+
+def _scan_groups(builder: "DagBuilder") -> Dict[Tuple[str, str], List[EquivalenceNode]]:
+    """Group scan equivalence nodes by (table, alias)."""
+    groups: Dict[Tuple[str, str], List[EquivalenceNode]] = defaultdict(list)
+    for node in builder.dag.equivalence_nodes():
+        key = node.key
+        if isinstance(key, tuple) and key and key[0] == "scan":
+            groups[(key[1], key[2])].append(node)
+    return groups
+
+
+def _select_groups(builder: "DagBuilder") -> Dict[object, List[EquivalenceNode]]:
+    """Group select equivalence nodes by their child key."""
+    groups: Dict[object, List[EquivalenceNode]] = defaultdict(list)
+    for node in builder.dag.equivalence_nodes():
+        key = node.key
+        if isinstance(key, tuple) and key and key[0] == "select":
+            groups[key[1]].append(node)
+    return groups
+
+
+def _node_predicates(node: EquivalenceNode) -> FrozenSet[Predicate]:
+    """The selection predicates applied by a scan/select equivalence node."""
+    key = node.key
+    if isinstance(key, tuple) and key and key[0] in ("scan", "select"):
+        return key[-1]
+    return frozenset()
+
+
+def _selection_subsumption(builder: "DagBuilder") -> int:
+    added = 0
+    groups = list(_scan_groups(builder).values()) + list(_select_groups(builder).values())
+    for members in groups:
+        if len(members) < 2:
+            continue
+        for stronger in members:
+            stronger_preds = _node_predicates(stronger)
+            if not stronger_preds:
+                continue
+            for weaker in members:
+                if weaker is stronger:
+                    continue
+                weaker_preds = _node_predicates(weaker)
+                if stronger_preds == weaker_preds:
+                    continue
+                if not weaker_preds:
+                    continue
+                if implies(and_(*stronger_preds), and_(*weaker_preds)):
+                    predicate = and_(*stronger_preds)
+                    cost = alg.filter_cost(builder.cost_model, weaker.rows, stronger.rows)
+                    builder.dag.add_operation(
+                        stronger,
+                        SelectOp(predicate),
+                        [weaker],
+                        cost.total,
+                        is_subsumption=True,
+                    )
+                    added += 1
+    return added
+
+
+# ---------------------------------------------------------------------------
+# Disjunction nodes for equality selections
+# ---------------------------------------------------------------------------
+
+def _single_equality(predicates: FrozenSet[Predicate]) -> Optional[Comparison]:
+    """Return the single ``column = constant`` comparison, if that is all."""
+    if len(predicates) != 1:
+        return None
+    (predicate,) = tuple(predicates)
+    if isinstance(predicate, Comparison):
+        normalized = predicate.normalized()
+        if normalized.op == "=" and normalized.is_column_constant():
+            return normalized
+    return None
+
+
+def _disjunction_subsumption(builder: "DagBuilder") -> int:
+    added = 0
+    for (table, alias), members in _scan_groups(builder).items():
+        by_column: Dict[ColumnRef, List[Tuple[EquivalenceNode, Comparison]]] = defaultdict(list)
+        for node in members:
+            comparison = _single_equality(_node_predicates(node))
+            if comparison is not None:
+                by_column[comparison.left].append((node, comparison))
+        for column, entries in by_column.items():
+            if len(entries) < 2:
+                continue
+            distinct = {comparison.right for _, comparison in entries}
+            if len(distinct) < 2:
+                continue
+            disjunction = or_(*sorted((c for _, c in entries), key=str))
+            shared = builder.scan_equivalence(table, alias, [disjunction])
+            shared.created_by_subsumption = True
+            for node, comparison in entries:
+                if node is shared:
+                    continue
+                cost = alg.filter_cost(builder.cost_model, shared.rows, node.rows)
+                builder.dag.add_operation(
+                    node, SelectOp(comparison), [shared], cost.total, is_subsumption=True
+                )
+                added += 1
+    return added
+
+
+# ---------------------------------------------------------------------------
+# Aggregation subsumption
+# ---------------------------------------------------------------------------
+
+_DECOMPOSABLE = {"sum": "sum", "min": "min", "max": "max", "count": "sum"}
+
+
+def _aggregate_subsumption(builder: "DagBuilder") -> int:
+    added = 0
+    groups: Dict[object, List[EquivalenceNode]] = defaultdict(list)
+    for node in builder.dag.equivalence_nodes():
+        key = node.key
+        if isinstance(key, tuple) and key and key[0] == "agg":
+            child_key, group_by, aggregates = key[1], key[2], key[3]
+            if not group_by:
+                continue
+            if any(a.func not in _DECOMPOSABLE for a in aggregates):
+                continue
+            signature = (child_key, frozenset((a.func, a.column) for a in aggregates))
+            groups[signature].append(node)
+    for members in groups.values():
+        group_sets = {frozenset(n.key[2]) for n in members}
+        if len(group_sets) < 2:
+            continue
+        combined_columns = tuple(sorted(frozenset().union(*group_sets)))
+        template = members[0]
+        child = _aggregate_child(builder, template)
+        if child is None:
+            continue
+        aggregates = template.key[3]
+        combined_alias = "shared_" + "_".join(sorted(c.column for c in combined_columns))
+        combined = builder.aggregate_equivalence(
+            child, combined_columns, aggregates, combined_alias
+        )
+        combined.created_by_subsumption = True
+        for node in members:
+            if frozenset(node.key[2]) == frozenset(combined_columns):
+                continue
+            regroup = tuple(ColumnRef(combined_alias, c.column) for c in node.key[2])
+            re_aggs = tuple(
+                AggregateFunction(
+                    _DECOMPOSABLE[a.func], ColumnRef(combined_alias, a.alias), a.alias
+                )
+                for a in node.key[3]
+            )
+            choice = alg.choose_aggregate(
+                builder.cost_model, combined.properties, regroup, node.rows
+            )
+            builder.dag.add_operation(
+                node,
+                AggregateOp(regroup, re_aggs, node.key[4]),
+                [combined],
+                choice.total,
+                is_subsumption=True,
+            )
+            added += 1
+    return added
+
+
+def _aggregate_child(builder: "DagBuilder", node: EquivalenceNode) -> Optional[EquivalenceNode]:
+    for operation in node.operations:
+        if isinstance(operation.operator, AggregateOp) and not operation.is_subsumption:
+            return operation.children[0]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Join-level subsumption (shared weaker joins)
+# ---------------------------------------------------------------------------
+
+def _join_subsumption(builder: "DagBuilder") -> int:
+    added = 0
+    groups: Dict[object, List[EquivalenceNode]] = defaultdict(list)
+    for node in builder.dag.equivalence_nodes():
+        key = node.key
+        if not (isinstance(key, tuple) and key and key[0] == "join"):
+            continue
+        leaf_keys, join_preds = key[1], key[2]
+        identities = []
+        ok = True
+        for leaf_key in leaf_keys:
+            if isinstance(leaf_key, tuple) and leaf_key and leaf_key[0] == "scan":
+                identities.append((leaf_key[1], leaf_key[2]))
+            else:
+                ok = False
+                break
+        if not ok:
+            continue
+        groups[(frozenset(identities), join_preds)].append(node)
+
+    for (identities, join_preds), members in groups.items():
+        if len(members) < 2:
+            continue
+        # Intersect the per-leaf selections across the group.
+        per_leaf: Dict[Tuple[str, str], List[FrozenSet[Predicate]]] = defaultdict(list)
+        for node in members:
+            for leaf_key in node.key[1]:
+                per_leaf[(leaf_key[1], leaf_key[2])].append(leaf_key[3])
+        weak_preds = {
+            identity: frozenset.intersection(*pred_sets)
+            for identity, pred_sets in per_leaf.items()
+        }
+        if all(
+            weak_preds[(leaf_key[1], leaf_key[2])] == leaf_key[3]
+            for node in members
+            for leaf_key in node.key[1]
+        ):
+            continue  # the members are already identical in their selections
+        weak_node = _weak_join_node(builder, weak_preds, join_preds)
+        if weak_node is None:
+            continue
+        weak_node.created_by_subsumption = True
+        for node in members:
+            if node is weak_node:
+                continue
+            residual: List[Predicate] = []
+            for leaf_key in node.key[1]:
+                extra = leaf_key[3] - weak_preds[(leaf_key[1], leaf_key[2])]
+                residual.extend(extra)
+            if not residual:
+                continue
+            predicate = and_(*sorted(residual, key=str))
+            cost = alg.filter_cost(builder.cost_model, weak_node.rows, node.rows)
+            builder.dag.add_operation(
+                node, SelectOp(predicate), [weak_node], cost.total, is_subsumption=True
+            )
+            added += 1
+    return added
+
+
+def _weak_join_node(
+    builder: "DagBuilder",
+    weak_preds: Dict[Tuple[str, str], FrozenSet[Predicate]],
+    join_preds: FrozenSet[Predicate],
+) -> Optional[EquivalenceNode]:
+    """Build (or find) the join node over the weakened leaves."""
+    aliases = []
+    leaf_nodes: Dict[str, EquivalenceNode] = {}
+    for (table, alias), predicates in sorted(weak_preds.items()):
+        aliases.append(alias)
+        leaf_nodes[alias] = builder.scan_equivalence(table, alias, sorted(predicates, key=str))
+    if len(aliases) < 2:
+        return None
+    return builder._expand_join_space(aliases, leaf_nodes, sorted(join_preds, key=str))

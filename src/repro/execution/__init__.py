@@ -1,0 +1,22 @@
+"""Simulated execution engine.
+
+The paper validates its estimated-cost results by running the chosen plans on
+Microsoft SQL Server 6.5 (Figure 7).  That system is substituted here by a
+small in-memory executor: plans extracted from the optimizer are evaluated
+over synthetic data, and the "execution time" reported is the block-accounted
+simulated cost (same constants as the optimizer's cost model) derived from the
+*actual* row and byte counts observed during execution — so the experiment
+still checks that MQO plans do less real work, which is the claim.
+"""
+
+from repro.execution.datagen import generate_psp_data, generate_tpcd_data
+from repro.execution.executor import ExecutionResult, Executor
+from repro.execution.operators import ExecutionStats
+
+__all__ = [
+    "generate_tpcd_data",
+    "generate_psp_data",
+    "Executor",
+    "ExecutionResult",
+    "ExecutionStats",
+]

@@ -1,0 +1,174 @@
+"""Deterministic synthetic data generators.
+
+The generators populate only what the executor needs: a dictionary mapping
+table names to lists of row dictionaries (column name → value), with key
+relationships (foreign keys, part/supplier pairs) preserved so that the
+TPC-D-style queries return meaningful results.  All randomness is seeded, so
+tests and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.catalog.tpcd import DATE_HIGH, DATE_LOW
+
+Row = Dict[str, object]
+Database = Dict[str, List[Row]]
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+    "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_RETURN_FLAGS = ["R", "A", "N"]
+_SHIP_MODES = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"]
+_BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+
+
+def generate_tpcd_data(scale: float = 0.005, seed: int = 7) -> Database:
+    """Generate a TPC-D-like database at the given (small) scale factor.
+
+    At the default scale the database has 30,000 lineitem rows, which is large
+    enough to show the executed-work differences of Figure 7 while keeping the
+    pure-Python executor fast.
+    """
+    rng = random.Random(seed)
+    supplier_count = max(5, int(10_000 * scale))
+    part_count = max(10, int(200_000 * scale))
+    customer_count = max(10, int(150_000 * scale))
+    orders_count = max(20, int(1_500_000 * scale))
+
+    database: Database = {}
+    database["region"] = [
+        {"r_regionkey": i, "r_name": name, "r_comment": ""} for i, name in enumerate(_REGIONS)
+    ]
+    database["nation"] = [
+        {"n_nationkey": i, "n_name": name, "n_regionkey": i % 5, "n_comment": ""}
+        for i, name in enumerate(_NATIONS)
+    ]
+    database["supplier"] = [
+        {
+            "s_suppkey": i,
+            "s_name": f"Supplier#{i:09d}",
+            "s_address": "",
+            "s_nationkey": rng.randrange(25),
+            "s_phone": "",
+            "s_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+            "s_comment": "",
+        }
+        for i in range(1, supplier_count + 1)
+    ]
+    database["customer"] = [
+        {
+            "c_custkey": i,
+            "c_name": f"Customer#{i:09d}",
+            "c_address": "",
+            "c_nationkey": rng.randrange(25),
+            "c_phone": "",
+            "c_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+            "c_mktsegment": rng.choice(_SEGMENTS),
+            "c_comment": "",
+        }
+        for i in range(1, customer_count + 1)
+    ]
+    database["part"] = [
+        {
+            "p_partkey": i,
+            "p_name": f"part {i}",
+            "p_mfgr": f"Manufacturer#{1 + i % 5}",
+            "p_brand": rng.choice(_BRANDS),
+            "p_type": f"TYPE {i % 150}",
+            "p_size": rng.randint(1, 50),
+            "p_container": "",
+            "p_retailprice": round(900 + (i % 1000), 2),
+            "p_comment": "",
+        }
+        for i in range(1, part_count + 1)
+    ]
+    partsupp: List[Row] = []
+    for part in range(1, part_count + 1):
+        for _ in range(4):
+            partsupp.append(
+                {
+                    "ps_partkey": part,
+                    "ps_suppkey": rng.randint(1, supplier_count),
+                    "ps_availqty": rng.randint(1, 10_000),
+                    "ps_supplycost": round(rng.uniform(1.0, 1000.0), 2),
+                    "ps_comment": "",
+                }
+            )
+    database["partsupp"] = partsupp
+
+    orders: List[Row] = []
+    lineitem: List[Row] = []
+    line_counter = 0
+    for order in range(1, orders_count + 1):
+        order_date = rng.randint(DATE_LOW, DATE_HIGH)
+        orders.append(
+            {
+                "o_orderkey": order,
+                "o_custkey": rng.randint(1, customer_count),
+                "o_orderstatus": rng.choice(["F", "O", "P"]),
+                "o_totalprice": round(rng.uniform(850.0, 560_000.0), 2),
+                "o_orderdate": order_date,
+                "o_orderpriority": rng.choice(_PRIORITIES),
+                "o_clerk": "",
+                "o_shippriority": 0,
+                "o_comment": "",
+            }
+        )
+        for _ in range(rng.randint(1, 7)):
+            line_counter += 1
+            ship_date = order_date + rng.randint(1, 120)
+            lineitem.append(
+                {
+                    "l_orderkey": order,
+                    "l_partkey": rng.randint(1, part_count),
+                    "l_suppkey": rng.randint(1, supplier_count),
+                    "l_linenumber": line_counter,
+                    "l_quantity": rng.randint(1, 50),
+                    "l_extendedprice": round(rng.uniform(900.0, 105_000.0), 2),
+                    "l_discount": round(rng.uniform(0.0, 0.10), 2),
+                    "l_tax": round(rng.uniform(0.0, 0.08), 2),
+                    "l_returnflag": rng.choice(_RETURN_FLAGS),
+                    "l_linestatus": rng.choice(["O", "F"]),
+                    "l_shipdate": ship_date,
+                    "l_commitdate": ship_date + rng.randint(-30, 30),
+                    "l_receiptdate": ship_date + rng.randint(1, 30),
+                    "l_shipinstruct": "",
+                    "l_shipmode": rng.choice(_SHIP_MODES),
+                    "l_comment": "",
+                }
+            )
+    database["orders"] = orders
+    database["lineitem"] = lineitem
+    return database
+
+
+def generate_psp_data(
+    relation_count: int = 22,
+    rows_per_table: int = 2_000,
+    seed: int = 11,
+    num_domain: int = 1_000,
+) -> Database:
+    """Generate data for the PSP scale-up schema (small, for execution tests)."""
+    rng = random.Random(seed)
+    database: Database = {}
+    for index in range(1, relation_count + 1):
+        rows = []
+        for i in range(rows_per_table):
+            rows.append(
+                {
+                    "p": i,
+                    "sp": rng.randrange(rows_per_table),
+                    "num": rng.randrange(num_domain),
+                }
+            )
+        database[f"psp{index}"] = rows
+    return database

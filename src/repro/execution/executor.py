@@ -1,0 +1,193 @@
+"""Plan executor: runs optimizer plans over an in-memory database.
+
+The executor consumes the executable operator trees produced by
+:func:`repro.optimizer.plans.extract_plan`.  Materialized nodes are computed
+once, their write/read-back work is charged with the cost-model constants, and
+subsequent uses read the stored copy — so the difference between a No-MQO plan
+and an MQO plan shows up directly in the executed work, which is the Figure 7
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import CostModel, DEFAULT_COST_MODEL
+from repro.dag.builder import IndexBuildOp
+from repro.dag.nodes import (
+    AggregateOp,
+    JoinOp,
+    NestedApplyOp,
+    NoOp,
+    ProjectOp,
+    ScanOp,
+    SelectOp,
+)
+from repro.execution.datagen import Database
+from repro.execution.operators import (
+    ExecutionStats,
+    Row,
+    aggregate_rows,
+    filter_rows,
+    join_rows,
+    nested_apply_rows,
+    project_rows,
+    rows_blocks,
+    scan_rows,
+)
+from repro.optimizer.plans import ConsolidatedPlan, PlanNode, extract_plan
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a plan cannot be executed."""
+
+
+@dataclass
+class ExecutionResult:
+    """Rows and work accounting of one plan execution."""
+
+    rows: List[Row]
+    stats: ExecutionStats
+    per_query_rows: List[List[Row]] = field(default_factory=list)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.stats.simulated_seconds
+
+
+class Executor:
+    """Executes consolidated plans over an in-memory database."""
+
+    def __init__(
+        self,
+        database: Database,
+        catalog: Catalog,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        self.database = database
+        self.catalog = catalog
+        self.cost_model = cost_model
+
+    # -- public API -----------------------------------------------------------
+    def run(self, plan: ConsolidatedPlan) -> ExecutionResult:
+        """Execute the whole batch plan (from the pseudo-root)."""
+        tree = extract_plan(plan)
+        stats = ExecutionStats()
+        cache: Dict[int, List[Row]] = {}
+        per_query: List[List[Row]] = []
+        if isinstance(tree.operation.operator if tree.operation else None, NoOp):
+            for child in tree.children:
+                rows = self._execute(child, stats, cache)
+                per_query.append(rows)
+            all_rows = [row for rows in per_query for row in rows]
+        else:
+            all_rows = self._execute(tree, stats, cache)
+            per_query = [all_rows]
+        return ExecutionResult(all_rows, stats, per_query)
+
+    # -- plan interpretation ------------------------------------------------
+    def _execute(self, node: PlanNode, stats: ExecutionStats, cache: Dict[int, List[Row]]) -> List[Row]:
+        if node.kind == "reuse":
+            rows = cache.get(node.equivalence.id)
+            if rows is None:
+                raise ExecutionError(f"reuse of {node.equivalence.label} before materialization")
+            blocks = rows_blocks(rows, self.cost_model)
+            cost = self.cost_model.sequential_read(blocks)
+            stats.blocks_read += blocks
+            stats.io_seconds += cost.io
+            stats.cpu_seconds += cost.cpu
+            stats.reuses += 1
+            return rows
+        if node.kind == "materialize":
+            rows = self._execute(node.children[0], stats, cache)
+            cache[node.equivalence.id] = rows
+            blocks = rows_blocks(rows, self.cost_model)
+            cost = self.cost_model.sequential_write(blocks)
+            stats.blocks_written += blocks
+            stats.rows_materialized += len(rows)
+            stats.io_seconds += cost.io
+            stats.cpu_seconds += cost.cpu
+            return rows
+        if node.kind == "base":
+            raise ExecutionError("stored tables are consumed by their parent scan operation")
+        return self._execute_operation(node, stats, cache)
+
+    def _execute_operation(self, node: PlanNode, stats: ExecutionStats, cache: Dict[int, List[Row]]) -> List[Row]:
+        operator = node.operation.operator
+        if isinstance(operator, ScanOp):
+            table = self.catalog.table(operator.table)
+            return scan_rows(
+                self.database[operator.table.lower()],
+                operator.alias,
+                operator.predicate,
+                stats,
+                self.cost_model,
+                table.tuple_width,
+            )
+        if isinstance(operator, NoOp):
+            rows: List[Row] = []
+            for child in node.children:
+                rows.extend(self._execute(child, stats, cache))
+            return rows
+        children_rows = [self._execute(child, stats, cache) for child in node.children]
+        if isinstance(operator, SelectOp):
+            return filter_rows(children_rows[0], operator.predicate, stats, self.cost_model)
+        if isinstance(operator, ProjectOp):
+            return project_rows(children_rows[0], operator.columns, stats, self.cost_model)
+        if isinstance(operator, JoinOp):
+            return join_rows(children_rows[0], children_rows[1], operator.predicates, stats, self.cost_model)
+        if isinstance(operator, AggregateOp):
+            return aggregate_rows(
+                children_rows[0],
+                operator.group_by,
+                operator.aggregates,
+                operator.output_alias,
+                stats,
+                self.cost_model,
+            )
+        if isinstance(operator, IndexBuildOp):
+            # Index construction over the (materialized) child: charge the
+            # build cost; the rows pass through unchanged.
+            rows = children_rows[0]
+            cost = self.cost_model.index_build_cost(len(rows), 16)
+            stats.io_seconds += cost.io
+            stats.cpu_seconds += cost.cpu
+            return rows
+        if isinstance(operator, NestedApplyOp):
+            outer_rows = children_rows[0]
+            if len(children_rows) > 1:
+                invariant_rows = children_rows[1]
+            else:
+                raise ExecutionError("nested apply without an invariant input")
+            if operator.aggregate is None or operator.outer_column is None:
+                raise ExecutionError("nested apply operator lacks execution metadata")
+            if operator.name == "correlated_apply":
+                # Plain correlated evaluation: every distinct outer binding is
+                # a separate invocation of the nested query, each with its own
+                # access cost (the optimizer's pushdown estimate); charge it so
+                # the executed work reflects repeated invocation.
+                outer_refs = [
+                    c
+                    for p in operator.correlation
+                    for c in p.columns()
+                    if outer_rows and c in outer_rows[0]
+                ]
+                invocations = len({tuple(r.get(c) for c in outer_refs) for r in outer_rows}) if outer_rows else 0
+                probe = self.cost_model.index_probe_cost(
+                    max(1.0, len(invariant_rows) / max(1, invocations or 1)), 64
+                )
+                stats.io_seconds += probe.io * invocations
+                stats.cpu_seconds += probe.cpu * invocations
+            return nested_apply_rows(
+                outer_rows,
+                invariant_rows,
+                operator.correlation,
+                operator.aggregate,
+                operator.outer_column,
+                operator.comparison,
+                stats,
+                self.cost_model,
+            )
+        raise ExecutionError(f"unsupported operator in executable plan: {operator.describe()}")

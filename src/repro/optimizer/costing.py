@@ -1,0 +1,109 @@
+"""Volcano-style cost computation over the AND-OR DAG.
+
+This module implements the cost recurrence of Section 3.1 of the paper,
+extended for a set ``M`` of materialized equivalence nodes::
+
+    cost(o) = exec(o) + Σ_i multiplier_i * C(e_i)
+    C(e)    = cost(e)                         if e ∉ M
+            = min(cost(e), reusecost(e))      if e ∈ M
+    cost(e) = min { cost(o) | o ∈ children(e) }   (0 for base relations)
+
+and the total cost of the batch given ``M``::
+
+    bestcost(Q, M) = cost(root) + Σ_{m ∈ M} (cost(m) + matcost(m))
+
+The from-scratch computation here is the reference implementation; the greedy
+heuristic uses the incremental variant in :mod:`repro.optimizer.greedy`, whose
+results must (and are tested to) agree with this one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.dag.nodes import Dag, EquivalenceNode, OperationNode
+
+INFINITE_COST = math.inf
+
+
+def child_cost(
+    child: EquivalenceNode, costs: Dict[int, float], materialized: Set[int]
+) -> float:
+    """``C(e)`` of a child equivalence node under the materialized set."""
+    base = costs[child.id]
+    if child.id in materialized:
+        return min(base, child.reuse_cost)
+    return base
+
+
+def operation_cost(
+    operation: OperationNode, costs: Dict[int, float], materialized: Set[int]
+) -> float:
+    """``cost(o)`` of one operation node under the materialized set."""
+    total = operation.local_cost
+    for child, multiplier in zip(operation.children, operation.child_multipliers):
+        total += multiplier * child_cost(child, costs, materialized)
+    return total
+
+
+def equivalence_cost(
+    node: EquivalenceNode, costs: Dict[int, float], materialized: Set[int]
+) -> float:
+    """``cost(e)``: minimum over the node's operations (0 for base tables)."""
+    if node.is_base:
+        return 0.0
+    best = INFINITE_COST
+    for operation in node.operations:
+        cost = operation_cost(operation, costs, materialized)
+        if cost < best:
+            best = cost
+    return best
+
+
+def compute_node_costs(dag: Dag, materialized: Optional[Set[int]] = None) -> Dict[int, float]:
+    """Compute ``cost(e)`` for every equivalence node, bottom-up."""
+    materialized = materialized or set()
+    costs: Dict[int, float] = {}
+    for node in sorted(dag.equivalence_nodes(), key=lambda n: n.topo_number):
+        costs[node.id] = equivalence_cost(node, costs, materialized)
+    return costs
+
+
+def total_cost(
+    dag: Dag, costs: Dict[int, float], materialized: Optional[Set[int]] = None
+) -> float:
+    """``bestcost(Q, M)``: plan cost plus computing and materializing ``M``."""
+    materialized = materialized or set()
+    total = costs[dag.root.id]
+    by_id = {node.id: node for node in dag.equivalence_nodes()}
+    for node_id in materialized:
+        node = by_id[node_id]
+        total += costs[node_id] + node.mat_cost
+    return total
+
+
+def best_operations(
+    dag: Dag, costs: Dict[int, float], materialized: Optional[Set[int]] = None
+) -> Dict[int, OperationNode]:
+    """The argmin operation for every non-base equivalence node."""
+    materialized = materialized or set()
+    choices: Dict[int, OperationNode] = {}
+    for node in dag.equivalence_nodes():
+        if node.is_base or not node.operations:
+            continue
+        best_op = None
+        best_cost = INFINITE_COST
+        for operation in node.operations:
+            cost = operation_cost(operation, costs, materialized)
+            if cost < best_cost:
+                best_cost = cost
+                best_op = operation
+        choices[node.id] = best_op
+    return choices
+
+
+def bestcost(dag: Dag, materialized: Optional[Set[int]] = None) -> float:
+    """Convenience wrapper: total cost of the batch given a materialized set."""
+    costs = compute_node_costs(dag, materialized)
+    return total_cost(dag, costs, materialized)

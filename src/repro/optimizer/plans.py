@@ -1,0 +1,191 @@
+"""Consolidated (DAG-structured) plans and executable plan extraction.
+
+The output of basic Volcano optimization is the *consolidated best plan*: for
+every equivalence node reachable from the pseudo-root, the chosen operation.
+Because common sub-expressions are unified in the DAG, the consolidated plan
+is itself a DAG (nodes may have several parents); the multi-query algorithms
+then decide which of those shared nodes to actually materialize.
+
+:func:`extract_plan` turns a consolidated plan plus a materialization set into
+an executable operator tree in which the first use of a materialized node
+computes and materializes it and every further use reads the materialized
+result — the form the simulated execution engine consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.dag.nodes import Dag, EquivalenceNode, OperationNode
+
+
+class PlanError(RuntimeError):
+    """Raised when a plan is structurally inconsistent."""
+
+
+@dataclass
+class ConsolidatedPlan:
+    """A DAG-structured plan: one chosen operation per equivalence node.
+
+    ``choices`` may contain entries for nodes that are not reachable from the
+    root under the current choices; :meth:`reachable` reports the live part.
+    """
+
+    dag: Dag
+    choices: Dict[int, OperationNode]
+    materialized: Set[int] = field(default_factory=set)
+
+    # -- navigation -----------------------------------------------------------
+    def operation_for(self, node: EquivalenceNode) -> OperationNode:
+        try:
+            return self.choices[node.id]
+        except KeyError:
+            raise PlanError(f"plan has no operation chosen for {node!r}") from None
+
+    def reachable(self, roots: Optional[Iterable[EquivalenceNode]] = None) -> List[EquivalenceNode]:
+        """Equivalence nodes reachable from *roots* under the chosen operations."""
+        if roots is None:
+            roots = [self.dag.root]
+        seen: Dict[int, EquivalenceNode] = {}
+        stack = [root for root in roots]
+        while stack:
+            node = stack.pop()
+            if node.id in seen:
+                continue
+            seen[node.id] = node
+            if node.is_base:
+                continue
+            operation = self.choices.get(node.id)
+            if operation is None:
+                continue
+            for child in operation.children:
+                stack.append(child)
+        return list(seen.values())
+
+    def parent_counts(self, roots: Optional[Iterable[EquivalenceNode]] = None) -> Dict[int, int]:
+        """Number of references to each node within the reachable plan.
+
+        This is the ``numuses⁻`` underestimate used by Volcano-SH: the number
+        of (distinct) uses of a node in the consolidated best plan, ignoring
+        multiplicative effects of ancestors being recomputed.  Use multipliers
+        of nested-query invocations are counted, since each invocation is a
+        genuine use.
+        """
+        counts: Dict[int, int] = {}
+        for node in self.reachable(roots):
+            if node.is_base:
+                continue
+            operation = self.choices.get(node.id)
+            if operation is None:
+                continue
+            for child, multiplier in zip(operation.children, operation.child_multipliers):
+                counts[child.id] = counts.get(child.id, 0) + max(1, int(round(multiplier)))
+        return counts
+
+    def cost(self, node_costs: Dict[int, float]) -> float:
+        """Total plan cost under the given per-node cost table."""
+        total = node_costs[self.dag.root.id]
+        for node_id in self.materialized:
+            node = self._node(node_id)
+            total += node_costs[node_id] + node.mat_cost
+        return total
+
+    def _node(self, node_id: int) -> EquivalenceNode:
+        for node in self.dag.equivalence_nodes():
+            if node.id == node_id:
+                return node
+        raise PlanError(f"unknown equivalence node id {node_id}")
+
+    def materialized_labels(self) -> List[str]:
+        return [self._node(node_id).label for node_id in sorted(self.materialized)]
+
+    # -- pretty printing -----------------------------------------------------
+    def explain(self) -> str:
+        """Human-readable rendering of the plan (one line per plan node)."""
+        lines: List[str] = []
+        visited: Set[int] = set()
+
+        def visit(node: EquivalenceNode, depth: int) -> None:
+            indent = "  " * depth
+            marker = " [materialized]" if node.id in self.materialized else ""
+            if node.is_base:
+                lines.append(f"{indent}{node.label}{marker}")
+                return
+            if node.id in visited and node.id in self.materialized:
+                lines.append(f"{indent}reuse({node.label})")
+                return
+            visited.add(node.id)
+            operation = self.choices.get(node.id)
+            if operation is None:
+                lines.append(f"{indent}{node.label}{marker} (no operation)")
+                return
+            lines.append(f"{indent}{operation.operator.describe()} -> {node.label}{marker}")
+            for child in operation.children:
+                visit(child, depth + 1)
+
+        visit(self.dag.root, 0)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Executable plan extraction
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PlanNode:
+    """A node of an executable operator tree.
+
+    ``kind`` is one of ``"operation"`` (apply ``operation`` to the children),
+    ``"base"`` (scan nothing — the stored table, consumed by its parent scan
+    operation), ``"materialize"`` (compute the child once, store it), and
+    ``"reuse"`` (read a previously materialized result).
+    """
+
+    kind: str
+    equivalence: EquivalenceNode
+    operation: Optional[OperationNode] = None
+    children: List["PlanNode"] = field(default_factory=list)
+
+    def describe(self, depth: int = 0) -> str:
+        indent = "  " * depth
+        if self.kind == "base":
+            header = f"{indent}table({self.equivalence.label})"
+        elif self.kind == "reuse":
+            header = f"{indent}reuse({self.equivalence.label})"
+        elif self.kind == "materialize":
+            header = f"{indent}materialize({self.equivalence.label})"
+        else:
+            header = f"{indent}{self.operation.operator.describe()}"
+        lines = [header]
+        for child in self.children:
+            lines.append(child.describe(depth + 1))
+        return "\n".join(lines)
+
+
+def extract_plan(plan: ConsolidatedPlan, root: Optional[EquivalenceNode] = None) -> PlanNode:
+    """Build the executable operator tree for *root* (default: the pseudo-root).
+
+    Materialized nodes are computed at their first use (wrapped in a
+    ``materialize`` node) and read back (``reuse``) afterwards.
+    """
+    root = root or plan.dag.root
+    produced: Set[int] = set()
+
+    def build(node: EquivalenceNode) -> PlanNode:
+        if node.is_base:
+            return PlanNode("base", node)
+        if node.id in plan.materialized:
+            if node.id in produced:
+                return PlanNode("reuse", node)
+            produced.add(node.id)
+            inner = _operation_node(node)
+            return PlanNode("materialize", node, children=[inner])
+        return _operation_node(node)
+
+    def _operation_node(node: EquivalenceNode) -> PlanNode:
+        operation = plan.operation_for(node)
+        children = [build(child) for child in operation.children]
+        return PlanNode("operation", node, operation, children)
+
+    return build(root)

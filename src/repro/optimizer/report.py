@@ -1,0 +1,48 @@
+"""Optimization results and instrumentation counters.
+
+The performance study of the paper reports, per algorithm and workload:
+estimated plan cost, optimization time, and — for the greedy heuristic — the
+number of cost propagations across equivalence nodes and the number of benefit
+(cost) recomputations initiated (Figure 10, Section 6.3).  Those quantities
+are first-class fields here so that the benchmark harness can regenerate the
+paper's tables and figures directly from :class:`OptimizationResult` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.optimizer.plans import ConsolidatedPlan
+
+
+@dataclass
+class OptimizationResult:
+    """The outcome of running one optimization algorithm on one DAG."""
+
+    algorithm: str
+    plan: ConsolidatedPlan
+    cost: float
+    optimization_time: float = 0.0
+    #: Number of equivalence nodes / operation nodes in the DAG searched.
+    dag_equivalence_nodes: int = 0
+    dag_operation_nodes: int = 0
+    #: Number of sharable equivalence nodes (greedy candidates).
+    sharable_nodes: int = 0
+    #: Counters (cost propagations, benefit recomputations, bestcost calls...).
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def materialized_count(self) -> int:
+        return len(self.plan.materialized)
+
+    def materialized_labels(self) -> List[str]:
+        return self.plan.materialized_labels()
+
+    def summary(self) -> str:
+        """One-line summary used by the examples and the benchmark harness."""
+        return (
+            f"{self.algorithm:<12s} cost={self.cost:12.2f}s "
+            f"materialized={self.materialized_count:3d} "
+            f"time={self.optimization_time * 1000:9.1f}ms"
+        )

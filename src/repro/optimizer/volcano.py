@@ -1,0 +1,43 @@
+"""The baseline: plain Volcano optimization of the combined DAG.
+
+Each query is optimized independently of the others (no materialization, no
+sharing); the consolidated best plan for the pseudo-root is simply the
+combination of the individually best plans.  This is the "Volcano" bar in
+every figure of the paper's evaluation and the starting point of Volcano-SH.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Set
+
+from repro.dag.nodes import Dag
+from repro.optimizer.costing import best_operations, compute_node_costs, total_cost
+from repro.optimizer.plans import ConsolidatedPlan
+from repro.optimizer.report import OptimizationResult
+
+
+def consolidated_best_plan(dag: Dag, materialized: Optional[Set[int]] = None) -> ConsolidatedPlan:
+    """The consolidated Volcano best plan given a set of materialized nodes."""
+    materialized = materialized or set()
+    costs = compute_node_costs(dag, materialized)
+    choices = best_operations(dag, costs, materialized)
+    return ConsolidatedPlan(dag, choices, set(materialized))
+
+
+def optimize_volcano(dag: Dag) -> OptimizationResult:
+    """Run plain Volcano optimization (no multi-query sharing)."""
+    start = time.perf_counter()
+    costs = compute_node_costs(dag)
+    choices = best_operations(dag, costs)
+    plan = ConsolidatedPlan(dag, choices, set())
+    cost = total_cost(dag, costs)
+    elapsed = time.perf_counter() - start
+    return OptimizationResult(
+        algorithm="Volcano",
+        plan=plan,
+        cost=cost,
+        optimization_time=elapsed,
+        dag_equivalence_nodes=dag.num_equivalence_nodes,
+        dag_operation_nodes=dag.num_operation_nodes,
+    )

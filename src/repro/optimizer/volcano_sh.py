@@ -1,0 +1,233 @@
+"""The Volcano-SH heuristic (Section 3.2, Figure 2 of the paper).
+
+Volcano-SH starts from the consolidated best plan produced by plain Volcano
+optimization and decides, bottom-up and in a cost-based way, which of the
+plan's shared nodes to materialize.  The plan structure (join orders,
+algorithms) is *not* changed — only materialization decisions are added —
+which is what makes the heuristic almost free compared to Volcano.
+
+Key elements reproduced from the paper:
+
+* the conservative materialization test
+  ``matcost(e)/(numuses⁻(e)-1) + reusecost(e) < cost(e)`` using the
+  ``numuses⁻`` underestimate (number of references to the node in the
+  consolidated plan);
+* the pre-pass that swaps applicable subsumption derivations into the plan,
+  and the final undo of those whose shared source was not materialized;
+* the special test for nodes introduced by subsumption derivations, which are
+  only worth materializing if they pay for themselves through the savings
+  they offer their parents;
+* the final accounting ``cost(root) + Σ_{m∈M} (cost(m) + matcost(m))``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Set, Tuple
+
+from repro.dag.nodes import Dag, EquivalenceNode, OperationNode
+from repro.optimizer.costing import INFINITE_COST, compute_node_costs
+from repro.optimizer.plans import ConsolidatedPlan
+from repro.optimizer.report import OptimizationResult
+from repro.optimizer.volcano import consolidated_best_plan
+
+
+def plan_node_costs(
+    dag: Dag,
+    choices: Dict[int, OperationNode],
+    materialized: Set[int],
+) -> Dict[int, float]:
+    """Cost of every equivalence node when computed via its *chosen* operation.
+
+    Unlike :func:`repro.optimizer.costing.compute_node_costs` this does not
+    minimize over alternatives — Volcano-SH keeps the Volcano plan structure.
+    Nodes without a choice (not part of the plan) fall back to the minimum
+    over their operations so that subsumption children swapped into the plan
+    still get a cost.
+    """
+    costs: Dict[int, float] = {}
+    for node in sorted(dag.equivalence_nodes(), key=lambda n: n.topo_number):
+        if node.is_base:
+            costs[node.id] = 0.0
+            continue
+        operation = choices.get(node.id)
+        candidates = [operation] if operation is not None else list(node.operations)
+        best = INFINITE_COST
+        for candidate in candidates:
+            cost = candidate.local_cost
+            for child, multiplier in zip(candidate.children, candidate.child_multipliers):
+                child_cost = costs[child.id]
+                if child.id in materialized:
+                    child_cost = min(child_cost, child.reuse_cost)
+                cost += multiplier * child_cost
+            best = min(best, cost)
+        costs[node.id] = best
+    return costs
+
+
+def _subsumption_alternative(
+    node: EquivalenceNode, reachable_ids: Set[int]
+) -> Optional[OperationNode]:
+    """A subsumption derivation of *node* whose source is already in the plan."""
+    for operation in node.operations:
+        if not operation.is_subsumption:
+            continue
+        if all(child.id in reachable_ids or child.is_base for child in operation.children):
+            return operation
+    return None
+
+
+def _cheapest_regular_operation(
+    node: EquivalenceNode,
+    costs: Dict[int, float],
+    fallback_costs: Dict[int, float],
+    materialized: Set[int],
+) -> float:
+    best = INFINITE_COST
+    for operation in node.operations:
+        if operation.is_subsumption:
+            continue
+        cost = operation.local_cost
+        for child, multiplier in zip(operation.children, operation.child_multipliers):
+            child_cost = costs.get(child.id, fallback_costs.get(child.id, INFINITE_COST))
+            if child.id in materialized:
+                child_cost = min(child_cost, child.reuse_cost)
+            cost += multiplier * child_cost
+        best = min(best, cost)
+    return best
+
+
+def volcano_sh_pass(
+    dag: Dag, plan: ConsolidatedPlan
+) -> Tuple[Set[int], Dict[int, OperationNode], float]:
+    """Run the Volcano-SH materialization pass over a consolidated plan.
+
+    Returns the set of materialized node ids, the (possibly pre-pass adjusted)
+    operation choices, and the resulting total cost.
+    """
+    choices = dict(plan.choices)
+    reachable = plan.reachable()
+    reachable_ids = {node.id for node in reachable}
+    baseline_costs = plan_node_costs(dag, plan.choices, set())
+
+    # Pre-pass: swap applicable subsumption derivations into the plan.  A swap
+    # is only made if, assuming its source does get materialized, the node is
+    # no more expensive to obtain than through its original derivation —
+    # otherwise the swap could only hurt and would be undone anyway.
+    swapped: Dict[int, OperationNode] = {}
+    for node in reachable:
+        if node.is_base or node.id not in choices:
+            continue
+        current = choices[node.id]
+        if current.is_subsumption:
+            continue
+        alternative = _subsumption_alternative(node, reachable_ids)
+        if alternative is None:
+            continue
+        via_materialized = alternative.local_cost + sum(
+            multiplier * child.reuse_cost
+            for child, multiplier in zip(alternative.children, alternative.child_multipliers)
+        )
+        if via_materialized <= baseline_costs.get(node.id, INFINITE_COST):
+            swapped[node.id] = current
+            choices[node.id] = alternative
+
+    working = ConsolidatedPlan(dag, choices, set())
+    reachable = working.reachable()
+    reachable_ids = {node.id for node in reachable}
+    numuses = working.parent_counts()
+    # Fallback cost table (min over alternatives, nothing materialized) for
+    # children that are not part of the plan, e.g. when pricing the regular
+    # alternative of a node whose plan derivation is a subsumption derivation.
+    fallback_costs = compute_node_costs(dag)
+
+    materialized: Set[int] = set()
+    costs: Dict[int, float] = {}
+    for node in sorted(reachable, key=lambda n: n.topo_number):
+        if node.is_base:
+            costs[node.id] = 0.0
+            continue
+        operation = choices.get(node.id)
+        if operation is None:
+            # Not actually part of the plan (defensive); use cheapest op.
+            operation = min(
+                node.operations,
+                key=lambda op: op.local_cost
+                + sum(m * costs.get(c.id, 0.0) for c, m in zip(op.children, op.child_multipliers)),
+            )
+        cost = operation.local_cost
+        for child, multiplier in zip(operation.children, operation.child_multipliers):
+            child_cost = costs[child.id]
+            if child.id in materialized:
+                child_cost = min(child_cost, child.reuse_cost)
+            cost += multiplier * child_cost
+        costs[node.id] = cost
+
+        uses = numuses.get(node.id, 0)
+        if uses <= 1:
+            continue
+        if not node.created_by_subsumption:
+            if node.mat_cost / (uses - 1) + node.reuse_cost < cost:
+                materialized.add(node.id)
+        else:
+            # Nodes introduced by subsumption derivations must pay for
+            # themselves through the savings they offer their parents.
+            lhs = cost + node.mat_cost + node.reuse_cost * (uses - 1)
+            savings = 0.0
+            for parent_op in node.parents:
+                parent = parent_op.equivalence
+                if choices.get(parent.id) is not parent_op:
+                    continue
+                original = _cheapest_regular_operation(parent, costs, fallback_costs, materialized)
+                via_node = parent_op.local_cost
+                for child, multiplier in zip(parent_op.children, parent_op.child_multipliers):
+                    child_cost = node.reuse_cost if child.id == node.id else costs.get(child.id, 0.0)
+                    via_node += multiplier * child_cost
+                if original < INFINITE_COST:
+                    savings += max(0.0, original - via_node)
+            if lhs < savings:
+                materialized.add(node.id)
+
+    # Undo subsumption derivations whose shared source was not materialized.
+    for node_id, original in swapped.items():
+        chosen = choices[node_id]
+        if chosen.is_subsumption and not all(
+            child.id in materialized or child.is_base for child in chosen.children
+        ):
+            choices[node_id] = original
+
+    final_plan = ConsolidatedPlan(dag, choices, set(materialized))
+    reachable_ids = {node.id for node in final_plan.reachable()}
+    materialized &= reachable_ids
+    final_costs = plan_node_costs(dag, choices, materialized)
+    total = final_costs[dag.root.id]
+    nodes_by_id = {node.id: node for node in dag.equivalence_nodes()}
+    for node_id in materialized:
+        total += final_costs[node_id] + nodes_by_id[node_id].mat_cost
+
+    # Volcano-SH only adds sharing on top of the Volcano plan; if the
+    # heuristic decisions (made with the numuses underestimate) did not pay
+    # off, fall back to the plain Volcano plan rather than return a worse one.
+    baseline_total = baseline_costs[dag.root.id]
+    if total > baseline_total:
+        return set(), dict(plan.choices), baseline_total
+    return materialized, choices, total
+
+
+def optimize_volcano_sh(dag: Dag, plan: Optional[ConsolidatedPlan] = None) -> OptimizationResult:
+    """Run Volcano-SH on the DAG (or on a supplied consolidated plan)."""
+    start = time.perf_counter()
+    if plan is None:
+        plan = consolidated_best_plan(dag)
+    materialized, choices, total = volcano_sh_pass(dag, plan)
+    elapsed = time.perf_counter() - start
+    result_plan = ConsolidatedPlan(dag, choices, materialized)
+    return OptimizationResult(
+        algorithm="Volcano-SH",
+        plan=result_plan,
+        cost=total,
+        optimization_time=elapsed,
+        dag_equivalence_nodes=dag.num_equivalence_nodes,
+        dag_operation_nodes=dag.num_operation_nodes,
+        counters={"materialized": len(materialized)},
+    )

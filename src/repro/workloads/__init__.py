@@ -1,0 +1,15 @@
+"""Workloads used in the paper's performance study (Section 6).
+
+* :mod:`repro.workloads.tpcd_queries` — structurally faithful forms of the
+  stand-alone TPC-D queries Q2 (correlated and decorrelated), Q11 and Q15, and
+  of the batched queries Q3, Q5, Q7, Q9, Q10.
+* :mod:`repro.workloads.batch` — the batched composite queries BQ1..BQ5 and
+  the "no overlap" renamed batch of Section 6.4.
+* :mod:`repro.workloads.scaleup` — the PSP chain queries SQ1..SQ18 and the
+  scale-up composites CQ1..CQ5 of Section 6.2.
+* :mod:`repro.workloads.nested` — helpers for parameterized-query batches.
+"""
+
+from repro.workloads import batch, nested, scaleup, tpcd_queries
+
+__all__ = ["tpcd_queries", "batch", "scaleup", "nested"]

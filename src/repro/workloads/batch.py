@@ -1,0 +1,111 @@
+"""The batched TPC-D workload (Experiment 2) and the no-overlap batch (§6.4).
+
+``BQ_i`` consists of the first *i* of the queries Q3, Q5, Q7, Q9, Q10, each
+repeated twice with different selection constants.  The no-overlap batch
+renames every base relation per query so that the workload has no common
+sub-expressions at all, which is used to measure the pure overhead of the
+multi-query machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.algebra.expressions import Aggregate, Expression, Join, Project, Relation, Select
+from repro.algebra.nested import CorrelatedSubqueryFilter
+from repro.catalog.catalog import Catalog
+from repro.catalog.tpcd import date_day
+from repro.dag.builder import Query
+from repro.workloads import tpcd_queries as tq
+
+
+def _query_pairs() -> List[List[Query]]:
+    """The five (query, repeated-with-different-constant) pairs of Experiment 2."""
+    return [
+        [tq.q3(segment="BUILDING", date=date_day(1995, 3, 15)),
+         tq.q3(segment="AUTOMOBILE", date=date_day(1995, 6, 30))],
+        [tq.q5(region="ASIA", start_year=1994),
+         tq.q5(region="EUROPE", start_year=1995)],
+        [tq.q7(nation1="FRANCE", nation2="GERMANY", start_year=1995),
+         tq.q7(nation1="GERMANY", nation2="FRANCE", start_year=1995)],
+        [tq.q9(max_size=20), tq.q9(max_size=35)],
+        [tq.q10(start_date=date_day(1993, 10, 1), returnflag="R"),
+         tq.q10(start_date=date_day(1994, 1, 1), returnflag="R")],
+    ]
+
+
+def batched_queries(i: int) -> List[Query]:
+    """Composite query ``BQ_i`` (1 ≤ i ≤ 5)."""
+    if not 1 <= i <= 5:
+        raise ValueError("BQ index must be between 1 and 5")
+    queries: List[Query] = []
+    for pair in _query_pairs()[:i]:
+        queries.extend(pair)
+    # Make query names unique within the batch.
+    renamed = []
+    for index, query in enumerate(queries):
+        renamed.append(Query(f"{query.name}#{index % 2 + 1}", query.expression))
+    return renamed
+
+
+def all_batched_workloads() -> Dict[str, List[Query]]:
+    """``{"BQ1": [...], ..., "BQ5": [...]}`` as used by the Figure 8 benchmark."""
+    return {f"BQ{i}": batched_queries(i) for i in range(1, 6)}
+
+
+# ---------------------------------------------------------------------------
+# The no-overlap batch of Section 6.4
+# ---------------------------------------------------------------------------
+
+def _rename_tables(expression: Expression, suffix: str) -> Expression:
+    """Rewrite every base relation ``t`` to ``t<suffix>`` (aliases preserved)."""
+    if isinstance(expression, Relation):
+        return Relation(f"{expression.table}{suffix}", expression.name)
+    if isinstance(expression, Select):
+        return Select(_rename_tables(expression.child, suffix), expression.predicate)
+    if isinstance(expression, Project):
+        return Project(_rename_tables(expression.child, suffix), expression.columns)
+    if isinstance(expression, Join):
+        return Join(
+            _rename_tables(expression.left, suffix),
+            _rename_tables(expression.right, suffix),
+            expression.predicate,
+        )
+    if isinstance(expression, Aggregate):
+        return Aggregate(
+            _rename_tables(expression.child, suffix),
+            expression.group_by,
+            expression.aggregates,
+            expression.alias,
+        )
+    if isinstance(expression, CorrelatedSubqueryFilter):
+        return CorrelatedSubqueryFilter(
+            _rename_tables(expression.outer, suffix),
+            _rename_tables(expression.invariant, suffix),
+            expression.correlation,
+            expression.aggregate,
+            expression.outer_column,
+            expression.op,
+            expression.invariant_alias,
+        )
+    raise TypeError(f"cannot rename tables in {type(expression).__name__}")
+
+
+def no_overlap_batch(catalog: Catalog) -> (List[Query], Catalog):
+    """The Section 6.4 workload with all overlaps removed by renaming.
+
+    Returns the renamed queries and a catalog extended with the renamed
+    tables (same statistics).  The expected behaviour: the sharability
+    detection finds no sharable node and Greedy returns the plain Volcano
+    plan with only the DAG-expansion overhead.
+    """
+    base = [tq.q3(), tq.q5(), tq.q7(), tq.q9(), tq.q10()]
+    renamed_queries: List[Query] = []
+    extended = catalog
+    for index, query in enumerate(base):
+        suffix = f"_q{index}"
+        extended = extended.renamed_copy(suffix)
+        renamed_queries.append(
+            Query(f"{query.name}{suffix}", _rename_tables(query.expression, suffix))
+        )
+    return renamed_queries, extended

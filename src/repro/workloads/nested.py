@@ -1,0 +1,37 @@
+"""Parameterized-query batches (Section 5 of the paper).
+
+Parameterized queries take parameter values used in selection predicates
+(stored procedures are the common example); multiple invocations with
+different parameters form a batch whose invariant parts can be shared.  The
+helper here simply instantiates a query template for each parameter value and
+returns the batch, which the ordinary multi-query machinery then optimizes —
+the paper's point is precisely that no special-case code is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence
+
+from repro.dag.builder import Query
+
+
+def parameterized_batch(
+    template: Callable[..., Query], parameter_values: Iterable, name: str = None
+) -> List[Query]:
+    """Instantiate *template* once per parameter value.
+
+    ``template`` is any callable returning a :class:`~repro.dag.builder.Query`
+    (for example :func:`repro.workloads.tpcd_queries.q3`); each element of
+    *parameter_values* is passed to it (tuples/dicts are unpacked).
+    """
+    queries: List[Query] = []
+    for index, value in enumerate(parameter_values):
+        if isinstance(value, dict):
+            query = template(**value)
+        elif isinstance(value, (tuple, list)):
+            query = template(*value)
+        else:
+            query = template(value)
+        prefix = name or query.name
+        queries.append(Query(f"{prefix}[{index}]", query.expression))
+    return queries

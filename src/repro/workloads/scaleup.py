@@ -1,0 +1,69 @@
+"""The scale-up workload of Section 6.2.
+
+Component query ``SQ_i`` is a *pair* of chain queries over the five
+consecutive relations ``PSP_i .. PSP_{i+4}`` with join condition
+``PSP_j.SP = PSP_{j+1}.P`` (j = i .. i+3); one member of the pair has the
+selection ``PSP_i.NUM >= a_i`` and the other ``PSP_i.NUM >= b_i`` with
+``a_i != b_i``.
+
+Composite query ``CQ_i`` consists of ``SQ_1 .. SQ_{4i-2}``, so it touches
+``4i + 2`` relations and has ``32i - 16`` join predicates and ``8i - 4``
+selection predicates; ``CQ_5`` is on 22 relations with 144 join predicates and
+36 selections, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.algebra import Join, Relation, Select, col, eq, ge
+from repro.dag.builder import Query
+
+#: Chain length of every component query (five relations, per the paper).
+CHAIN_LENGTH = 5
+
+
+def _chain_query(start: int, threshold: int, name: str) -> Query:
+    """One chain query over ``PSP_start .. PSP_{start+4}``."""
+    first = Select(
+        Relation(f"psp{start}"), ge(col(f"psp{start}", "num"), threshold)
+    )
+    expression = first
+    for j in range(start, start + CHAIN_LENGTH - 1):
+        predicate = eq(col(f"psp{j}", "sp"), col(f"psp{j + 1}", "p"))
+        expression = Join(expression, Relation(f"psp{j + 1}"), predicate)
+    return Query(name, expression)
+
+
+def component_query(i: int, seed: int = 42) -> List[Query]:
+    """``SQ_i``: the pair of chain queries starting at relation ``PSP_i``."""
+    if i < 1:
+        raise ValueError("component query index must be >= 1")
+    rng = random.Random(seed + i)
+    a = rng.randint(100, 500)
+    b = a + rng.randint(1, 400)
+    return [
+        _chain_query(i, a, f"SQ{i}a"),
+        _chain_query(i, b, f"SQ{i}b"),
+    ]
+
+
+def scaleup_queries(i: int, seed: int = 42) -> List[Query]:
+    """Composite query ``CQ_i`` (1 ≤ i ≤ 5): component queries SQ1..SQ(4i-2)."""
+    if not 1 <= i <= 5:
+        raise ValueError("CQ index must be between 1 and 5")
+    queries: List[Query] = []
+    for component in range(1, 4 * i - 2 + 1):
+        queries.extend(component_query(component, seed=seed))
+    return queries
+
+
+def all_scaleup_workloads(seed: int = 42):
+    """``{"CQ1": [...], ..., "CQ5": [...]}`` as used by the Figure 9/10 benches."""
+    return {f"CQ{i}": scaleup_queries(i, seed=seed) for i in range(1, 6)}
+
+
+def relations_required(i: int) -> int:
+    """Number of PSP relations referenced by ``CQ_i`` (= 4i + 2)."""
+    return 4 * i + 2

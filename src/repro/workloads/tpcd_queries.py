@@ -1,0 +1,380 @@
+"""TPC-D queries used in the paper's experiments, in algebraic form.
+
+The queries preserve the join graphs, selections, aggregations and — for Q2,
+Q11 and Q15 — the nested/view structure that creates the common
+sub-expressions the paper's algorithms exploit.  Arithmetic inside aggregate
+expressions (e.g. ``sum(l_extendedprice * (1 - l_discount))``) is simplified
+to the base column, which does not affect the optimizer in any way (the cost
+model sees only cardinalities and widths).
+
+Every query takes its selection constants as keyword arguments so that the
+batched workload (Section 6.1, Experiment 2) can repeat a query with two
+different constants.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.algebra import (
+    Aggregate,
+    AggregateFunction,
+    Join,
+    Relation,
+    Select,
+    and_,
+    col,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+)
+from repro.algebra.nested import CorrelatedSubqueryFilter
+from repro.catalog.tpcd import date_day
+from repro.dag.builder import Query
+
+
+def _join_all(*parts):
+    """Left-deep join of the given expressions/predicates.
+
+    ``parts`` alternates expressions and the predicate joining the next
+    expression; the first element is an expression.
+    """
+    expression = parts[0]
+    index = 1
+    while index < len(parts):
+        predicate = parts[index]
+        right = parts[index + 1]
+        expression = Join(expression, right, predicate)
+        index += 2
+    return expression
+
+
+# ---------------------------------------------------------------------------
+# Q2 — minimum-cost supplier (correlated nested query)
+# ---------------------------------------------------------------------------
+
+def _q2_outer(size: int, region: str):
+    part = Select(Relation("part"), eq(col("part", "p_size"), size))
+    partsupp = Relation("partsupp")
+    supplier = Relation("supplier")
+    nation = Relation("nation")
+    region_rel = Select(Relation("region"), eq(col("region", "r_name"), region))
+    return _join_all(
+        part,
+        eq(col("part", "p_partkey"), col("partsupp", "ps_partkey")),
+        partsupp,
+        eq(col("supplier", "s_suppkey"), col("partsupp", "ps_suppkey")),
+        supplier,
+        eq(col("supplier", "s_nationkey"), col("nation", "n_nationkey")),
+        nation,
+        eq(col("nation", "n_regionkey"), col("region", "r_regionkey")),
+        region_rel,
+    )
+
+
+def _q2_invariant(region: str):
+    partsupp = Relation("partsupp")
+    supplier = Relation("supplier")
+    nation = Relation("nation")
+    region_rel = Select(Relation("region"), eq(col("region", "r_name"), region))
+    return _join_all(
+        partsupp,
+        eq(col("supplier", "s_suppkey"), col("partsupp", "ps_suppkey")),
+        supplier,
+        eq(col("supplier", "s_nationkey"), col("nation", "n_nationkey")),
+        nation,
+        eq(col("nation", "n_regionkey"), col("region", "r_regionkey")),
+        region_rel,
+    )
+
+
+def q2(size: int = 15, region: str = "EUROPE") -> Query:
+    """TPC-D Q2 with correlated evaluation of the nested sub-query."""
+    outer = _q2_outer(size, region)
+    invariant = _q2_invariant(region)
+    expression = CorrelatedSubqueryFilter(
+        outer=outer,
+        invariant=invariant,
+        correlation=(eq(col("partsupp", "ps_partkey"), col("part", "p_partkey")),),
+        aggregate=AggregateFunction("min", col("partsupp", "ps_supplycost"), "min_supplycost"),
+        outer_column=col("partsupp", "ps_supplycost"),
+        op="=",
+    )
+    return Query("Q2", expression)
+
+
+def q2_modified(size: int = 15, region: str = "EUROPE") -> Query:
+    """The Q2 variant of Section 6.1 with an inequality correlation predicate.
+
+    The paper uses this variant (``PS_PARTKEY != P_PARTKEY`` and ``not in``)
+    to show the benefit of multi-query optimization when decorrelation is not
+    applicable.
+    """
+    outer = _q2_outer(size, region)
+    invariant = _q2_invariant(region)
+    expression = CorrelatedSubqueryFilter(
+        outer=outer,
+        invariant=invariant,
+        correlation=(ne(col("partsupp", "ps_partkey"), col("part", "p_partkey")),),
+        aggregate=AggregateFunction("min", col("partsupp", "ps_supplycost"), "min_supplycost"),
+        outer_column=col("partsupp", "ps_supplycost"),
+        op="=",
+    )
+    return Query("Q2-mod", expression)
+
+
+def q2_decorrelated(size: int = 15, region: str = "EUROPE") -> List[Query]:
+    """Q2-D: the (manually) decorrelated version of Q2 — a batch of queries.
+
+    The first query computes the per-part minimum supply cost over the
+    invariant join; the second joins the outer query with that result.  The
+    invariant join is a common sub-expression of the two queries, which is
+    where multi-query optimization pays off.
+    """
+    view = Aggregate(
+        _q2_invariant(region),
+        group_by=(col("partsupp", "ps_partkey"),),
+        aggregates=(AggregateFunction("min", col("partsupp", "ps_supplycost"), "min_supplycost"),),
+        alias="minps",
+    )
+    outer = _q2_outer(size, region)
+    main = Join(
+        outer,
+        view,
+        and_(
+            eq(col("partsupp", "ps_partkey"), col("minps", "ps_partkey")),
+            eq(col("partsupp", "ps_supplycost"), col("minps", "min_supplycost")),
+        ),
+    )
+    return [Query("Q2-D/view", view), Query("Q2-D/main", main)]
+
+
+# ---------------------------------------------------------------------------
+# Q11 — important stock identification (shared join, two aggregations)
+# ---------------------------------------------------------------------------
+
+def q11(nation: str = "GERMANY") -> Query:
+    """TPC-D Q11: the partsupp/supplier/nation join feeds two aggregations."""
+    def shared_join():
+        return _join_all(
+            Relation("partsupp"),
+            eq(col("partsupp", "ps_suppkey"), col("supplier", "s_suppkey")),
+            Relation("supplier"),
+            eq(col("supplier", "s_nationkey"), col("nation", "n_nationkey")),
+            Select(Relation("nation"), eq(col("nation", "n_name"), nation)),
+        )
+
+    by_part = Aggregate(
+        shared_join(),
+        group_by=(col("partsupp", "ps_partkey"),),
+        aggregates=(AggregateFunction("sum", col("partsupp", "ps_supplycost"), "value"),),
+        alias="bypart",
+    )
+    total = Aggregate(
+        shared_join(),
+        group_by=(),
+        aggregates=(AggregateFunction("sum", col("partsupp", "ps_supplycost"), "total_value"),),
+        alias="total",
+    )
+    expression = Join(by_part, total, gt(col("bypart", "value"), col("total", "total_value")))
+    return Query("Q11", expression)
+
+
+# ---------------------------------------------------------------------------
+# Q15 — top supplier (view referenced twice)
+# ---------------------------------------------------------------------------
+
+def q15(start_year: int = 1996) -> Query:
+    """TPC-D Q15: the ``revenue`` view is used both directly and under max()."""
+    start = date_day(start_year, 1, 1)
+    end = date_day(start_year, 4, 1)
+
+    def revenue_view():
+        filtered = Select(
+            Relation("lineitem"),
+            and_(
+                ge(col("lineitem", "l_shipdate"), start),
+                lt(col("lineitem", "l_shipdate"), end),
+            ),
+        )
+        return Aggregate(
+            filtered,
+            group_by=(col("lineitem", "l_suppkey"),),
+            aggregates=(AggregateFunction("sum", col("lineitem", "l_extendedprice"), "total_revenue"),),
+            alias="revenue",
+        )
+
+    max_revenue = Aggregate(
+        revenue_view(),
+        group_by=(),
+        aggregates=(AggregateFunction("max", col("revenue", "total_revenue"), "max_revenue"),),
+        alias="maxrev",
+    )
+    expression = _join_all(
+        Relation("supplier"),
+        eq(col("supplier", "s_suppkey"), col("revenue", "l_suppkey")),
+        revenue_view(),
+        eq(col("revenue", "total_revenue"), col("maxrev", "max_revenue")),
+        max_revenue,
+    )
+    return Query("Q15", expression)
+
+
+# ---------------------------------------------------------------------------
+# The batched queries: Q3, Q5, Q7, Q9, Q10
+# ---------------------------------------------------------------------------
+
+def q3(segment: str = "BUILDING", date: int = date_day(1995, 3, 15)) -> Query:
+    """TPC-D Q3: shipping priority."""
+    customer = Select(Relation("customer"), eq(col("customer", "c_mktsegment"), segment))
+    orders = Select(Relation("orders"), lt(col("orders", "o_orderdate"), date))
+    lineitem = Select(Relation("lineitem"), gt(col("lineitem", "l_shipdate"), date))
+    joined = _join_all(
+        customer,
+        eq(col("customer", "c_custkey"), col("orders", "o_custkey")),
+        orders,
+        eq(col("lineitem", "l_orderkey"), col("orders", "o_orderkey")),
+        lineitem,
+    )
+    expression = Aggregate(
+        joined,
+        group_by=(col("lineitem", "l_orderkey"), col("orders", "o_orderdate")),
+        aggregates=(AggregateFunction("sum", col("lineitem", "l_extendedprice"), "revenue"),),
+        alias="q3",
+    )
+    return Query("Q3", expression)
+
+
+def q5(region: str = "ASIA", start_year: int = 1994) -> Query:
+    """TPC-D Q5: local supplier volume."""
+    start = date_day(start_year, 1, 1)
+    end = date_day(start_year + 1, 1, 1)
+    orders = Select(
+        Relation("orders"),
+        and_(ge(col("orders", "o_orderdate"), start), lt(col("orders", "o_orderdate"), end)),
+    )
+    region_rel = Select(Relation("region"), eq(col("region", "r_name"), region))
+    joined = _join_all(
+        Relation("customer"),
+        eq(col("customer", "c_custkey"), col("orders", "o_custkey")),
+        orders,
+        eq(col("lineitem", "l_orderkey"), col("orders", "o_orderkey")),
+        Relation("lineitem"),
+        and_(
+            eq(col("lineitem", "l_suppkey"), col("supplier", "s_suppkey")),
+            eq(col("customer", "c_nationkey"), col("supplier", "s_nationkey")),
+        ),
+        Relation("supplier"),
+        eq(col("supplier", "s_nationkey"), col("nation", "n_nationkey")),
+        Relation("nation"),
+        eq(col("nation", "n_regionkey"), col("region", "r_regionkey")),
+        region_rel,
+    )
+    expression = Aggregate(
+        joined,
+        group_by=(col("nation", "n_name"),),
+        aggregates=(AggregateFunction("sum", col("lineitem", "l_extendedprice"), "revenue"),),
+        alias="q5",
+    )
+    return Query("Q5", expression)
+
+
+def q7(nation1: str = "FRANCE", nation2: str = "GERMANY", start_year: int = 1995) -> Query:
+    """TPC-D Q7: volume shipping (two nation instances — a self reference)."""
+    start = date_day(start_year, 1, 1)
+    end = date_day(start_year + 1, 12, 31)
+    lineitem = Select(
+        Relation("lineitem"),
+        and_(ge(col("lineitem", "l_shipdate"), start), le(col("lineitem", "l_shipdate"), end)),
+    )
+    n1 = Select(Relation("nation", "n1"), eq(col("n1", "n_name"), nation1))
+    n2 = Select(Relation("nation", "n2"), eq(col("n2", "n_name"), nation2))
+    joined = _join_all(
+        Relation("supplier"),
+        eq(col("supplier", "s_suppkey"), col("lineitem", "l_suppkey")),
+        lineitem,
+        eq(col("orders", "o_orderkey"), col("lineitem", "l_orderkey")),
+        Relation("orders"),
+        eq(col("customer", "c_custkey"), col("orders", "o_custkey")),
+        Relation("customer"),
+        eq(col("supplier", "s_nationkey"), col("n1", "n_nationkey")),
+        n1,
+        eq(col("customer", "c_nationkey"), col("n2", "n_nationkey")),
+        n2,
+    )
+    expression = Aggregate(
+        joined,
+        group_by=(col("n1", "n_name"), col("n2", "n_name")),
+        aggregates=(AggregateFunction("sum", col("lineitem", "l_extendedprice"), "revenue"),),
+        alias="q7",
+    )
+    return Query("Q7", expression)
+
+
+def q9(max_size: int = 20) -> Query:
+    """TPC-D Q9: product type profit measure (size filter instead of LIKE)."""
+    part = Select(Relation("part"), lt(col("part", "p_size"), max_size))
+    joined = _join_all(
+        part,
+        eq(col("part", "p_partkey"), col("lineitem", "l_partkey")),
+        Relation("lineitem"),
+        and_(
+            eq(col("partsupp", "ps_partkey"), col("lineitem", "l_partkey")),
+            eq(col("partsupp", "ps_suppkey"), col("lineitem", "l_suppkey")),
+        ),
+        Relation("partsupp"),
+        eq(col("supplier", "s_suppkey"), col("lineitem", "l_suppkey")),
+        Relation("supplier"),
+        eq(col("orders", "o_orderkey"), col("lineitem", "l_orderkey")),
+        Relation("orders"),
+        eq(col("supplier", "s_nationkey"), col("nation", "n_nationkey")),
+        Relation("nation"),
+    )
+    expression = Aggregate(
+        joined,
+        group_by=(col("nation", "n_name"),),
+        aggregates=(AggregateFunction("sum", col("lineitem", "l_extendedprice"), "profit"),),
+        alias="q9",
+    )
+    return Query("Q9", expression)
+
+
+def q10(start_date: int = date_day(1993, 10, 1), returnflag: str = "R") -> Query:
+    """TPC-D Q10: returned item reporting."""
+    orders = Select(
+        Relation("orders"),
+        and_(
+            ge(col("orders", "o_orderdate"), start_date),
+            lt(col("orders", "o_orderdate"), start_date + 90),
+        ),
+    )
+    lineitem = Select(Relation("lineitem"), eq(col("lineitem", "l_returnflag"), returnflag))
+    joined = _join_all(
+        Relation("customer"),
+        eq(col("customer", "c_custkey"), col("orders", "o_custkey")),
+        orders,
+        eq(col("lineitem", "l_orderkey"), col("orders", "o_orderkey")),
+        lineitem,
+        eq(col("customer", "c_nationkey"), col("nation", "n_nationkey")),
+        Relation("nation"),
+    )
+    expression = Aggregate(
+        joined,
+        group_by=(col("customer", "c_custkey"), col("nation", "n_name")),
+        aggregates=(AggregateFunction("sum", col("lineitem", "l_extendedprice"), "revenue"),),
+        alias="q10",
+    )
+    return Query("Q10", expression)
+
+
+def standalone_workloads():
+    """The four stand-alone workloads of Experiment 1 (Figure 6), by name."""
+    return {
+        "Q2": [q2()],
+        "Q2-D": q2_decorrelated(),
+        "Q11": [q11()],
+        "Q15": [q15()],
+    }
