@@ -5,6 +5,11 @@ equivalence nodes and the total number of cost (benefit) recomputations
 initiated, and observes that both grow almost linearly with the number of
 queries — far below the worst-case O(k^2 e) bound — because the multi-query
 DAG is "short and fat".
+
+The counters are invariant under the array-backed cost engine rewrite
+(:mod:`repro.optimizer.engine`): CQ1..CQ5 report 310/1007/1633/2208/2913
+cost propagations and 26/65/101/134/172 benefit recomputations both before
+and after — the engine changes constant factors, not the algorithm.
 """
 
 import pytest

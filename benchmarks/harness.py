@@ -13,7 +13,14 @@ factor, and how costs scale — is what EXPERIMENTS.md records.
 
 from __future__ import annotations
 
+import os
+import sys
 from typing import Dict, Iterable, List, Sequence
+
+# Make ``src`` importable when this file is executed directly
+# (``python benchmarks/harness.py --smoke``); under pytest the benchmark
+# conftest does the same insertion, which is harmless to repeat.
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
 from repro import MQOptimizer, PAPER_ALGORITHMS
 from repro.catalog import psp_catalog, tpcd_catalog
@@ -69,3 +76,47 @@ def tpcd_optimizer(scale: float = 1.0) -> MQOptimizer:
 
 def psp_optimizer() -> MQOptimizer:
     return MQOptimizer(psp_catalog())
+
+
+def smoke(batch_index: int = 2) -> None:
+    """Run one small batched workload end-to-end and check the cost ordering.
+
+    Used by CI (``python benchmarks/harness.py --smoke``) so that the
+    benchmark entry points cannot silently rot between full benchmark runs:
+    it exercises DAG construction, all four paper algorithms, the result
+    tables, and the qualitative cost assertion, in a few seconds.
+    """
+    from repro.optimizer.costing import bestcost
+    from repro.workloads.batch import batched_queries
+
+    queries = batched_queries(batch_index)
+    optimizer = tpcd_optimizer()
+    results = run_workload(optimizer, queries)
+    rows = {f"BQ{batch_index}": results}
+    print_cost_table("smoke (batched TPC-D)", rows)
+    print_time_table("smoke (batched TPC-D)", rows)
+    assert_cost_ordering(results)
+    greedy = results["Greedy"]
+    # The materialized ids belong to the DAG the result was computed on.
+    assert greedy.cost == bestcost(greedy.plan.dag, greedy.plan.materialized)
+    print(f"\nsmoke ok: {len(queries)} queries, greedy cost {greedy.cost:.2f}, "
+          f"{greedy.materialized_count} materializations")
+
+
+def _main(argv: List[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Benchmark harness entry point")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run one small batched workload end-to-end (used by CI)")
+    parser.add_argument("--batch", type=int, default=2, metavar="1..5",
+                        help="which BQ_i batch the smoke run uses (default: 2)")
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("nothing to do: pass --smoke (the full suite runs via pytest)")
+    smoke(batch_index=args.batch)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main(sys.argv[1:]))

@@ -23,7 +23,7 @@ from repro.dag.nodes import (
     TableOp,
 )
 from repro.dag.builder import DagBuilder, Query
-from repro.dag.sharability import degree_of_sharing, sharable_nodes
+from repro.dag.sharability import degree_of_sharing, sharable_nodes, sharing_degrees
 
 __all__ = [
     "Dag",
@@ -42,4 +42,5 @@ __all__ = [
     "Query",
     "degree_of_sharing",
     "sharable_nodes",
+    "sharing_degrees",
 ]

@@ -361,6 +361,12 @@ class Dag:
     def equivalence_nodes(self) -> Tuple[EquivalenceNode, ...]:
         return tuple(self._equivalences)
 
+    def node_by_id(self, node_id: int) -> EquivalenceNode:
+        """The equivalence node with the given id (ids are dense ``0..n-1``)."""
+        if 0 <= node_id < len(self._equivalences):
+            return self._equivalences[node_id]
+        raise DagError(f"unknown equivalence node id {node_id}")
+
     def operation_nodes(self) -> Tuple[OperationNode, ...]:
         return tuple(self._operations)
 

@@ -14,7 +14,13 @@ instrumentation counters reported in the paper's performance study.
   over materialization sets (tiny DAGs only; correctness oracle).
 """
 
-from repro.optimizer.costing import best_operations, compute_node_costs, total_cost
+from repro.optimizer.costing import (
+    best_operations,
+    bestcost,
+    compute_node_costs,
+    total_cost,
+)
+from repro.optimizer.engine import CostEngine, get_engine
 from repro.optimizer.plans import ConsolidatedPlan, PlanNode, extract_plan
 from repro.optimizer.report import OptimizationResult
 from repro.optimizer.volcano import optimize_volcano
@@ -27,6 +33,9 @@ __all__ = [
     "compute_node_costs",
     "total_cost",
     "best_operations",
+    "bestcost",
+    "CostEngine",
+    "get_engine",
     "ConsolidatedPlan",
     "PlanNode",
     "extract_plan",

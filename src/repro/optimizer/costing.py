@@ -12,9 +12,18 @@ and the total cost of the batch given ``M``::
 
     bestcost(Q, M) = cost(root) + Σ_{m ∈ M} (cost(m) + matcost(m))
 
-The from-scratch computation here is the reference implementation; the greedy
-heuristic uses the incremental variant in :mod:`repro.optimizer.greedy`, whose
-results must (and are tested to) agree with this one.
+Two implementations coexist:
+
+* The **reference** implementation (``child_cost`` / ``operation_cost`` /
+  ``equivalence_cost`` and the ``*_reference`` functions) walks the object
+  graph directly and spells out the recurrence one term at a time.  It is the
+  correctness oracle: the engine-backed fast path and the greedy incremental
+  variant are both tested to agree with it exactly.
+* The **public entry points** (:func:`compute_node_costs`, :func:`total_cost`,
+  :func:`best_operations`, :func:`bestcost`) delegate to the flat-array
+  :class:`~repro.optimizer.engine.CostEngine` snapshot of the DAG, which
+  removes the per-call topological sort, ``by_id`` dict rebuilds, and
+  attribute-chain traversal that used to dominate the optimizer hot paths.
 """
 
 from __future__ import annotations
@@ -23,9 +32,14 @@ import math
 from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.dag.nodes import Dag, EquivalenceNode, OperationNode
+from repro.optimizer.engine import EMPTY_SET, get_engine
 
 INFINITE_COST = math.inf
 
+
+# ---------------------------------------------------------------------------
+# Reference implementation (object-graph walk, one term at a time)
+# ---------------------------------------------------------------------------
 
 def child_cost(
     child: EquivalenceNode, costs: Dict[int, float], materialized: Set[int]
@@ -61,8 +75,10 @@ def equivalence_cost(
     return best
 
 
-def compute_node_costs(dag: Dag, materialized: Optional[Set[int]] = None) -> Dict[int, float]:
-    """Compute ``cost(e)`` for every equivalence node, bottom-up."""
+def compute_node_costs_reference(
+    dag: Dag, materialized: Optional[Set[int]] = None
+) -> Dict[int, float]:
+    """From-scratch ``cost(e)`` for every node via the reference recurrence."""
     materialized = materialized or set()
     costs: Dict[int, float] = {}
     for node in sorted(dag.equivalence_nodes(), key=lambda n: n.topo_number):
@@ -70,10 +86,10 @@ def compute_node_costs(dag: Dag, materialized: Optional[Set[int]] = None) -> Dic
     return costs
 
 
-def total_cost(
+def total_cost_reference(
     dag: Dag, costs: Dict[int, float], materialized: Optional[Set[int]] = None
 ) -> float:
-    """``bestcost(Q, M)``: plan cost plus computing and materializing ``M``."""
+    """``bestcost(Q, M)`` via the reference object-graph walk."""
     materialized = materialized or set()
     total = costs[dag.root.id]
     by_id = {node.id: node for node in dag.equivalence_nodes()}
@@ -83,10 +99,10 @@ def total_cost(
     return total
 
 
-def best_operations(
+def best_operations_reference(
     dag: Dag, costs: Dict[int, float], materialized: Optional[Set[int]] = None
 ) -> Dict[int, OperationNode]:
-    """The argmin operation for every non-base equivalence node."""
+    """The argmin operation per node via the reference object-graph walk."""
     materialized = materialized or set()
     choices: Dict[int, OperationNode] = {}
     for node in dag.equivalence_nodes():
@@ -103,7 +119,33 @@ def best_operations(
     return choices
 
 
+# ---------------------------------------------------------------------------
+# Engine-backed public entry points
+# ---------------------------------------------------------------------------
+
+def compute_node_costs(dag: Dag, materialized: Optional[Set[int]] = None) -> Dict[int, float]:
+    """Compute ``cost(e)`` for every equivalence node, bottom-up."""
+    engine = get_engine(dag)
+    values = engine.compute_costs(materialized if materialized else EMPTY_SET)
+    return dict(enumerate(values))
+
+
+def total_cost(
+    dag: Dag, costs: Dict[int, float], materialized: Optional[Set[int]] = None
+) -> float:
+    """``bestcost(Q, M)``: plan cost plus computing and materializing ``M``."""
+    return get_engine(dag).total(costs, materialized if materialized else EMPTY_SET)
+
+
+def best_operations(
+    dag: Dag, costs: Dict[int, float], materialized: Optional[Set[int]] = None
+) -> Dict[int, OperationNode]:
+    """The argmin operation for every non-base equivalence node."""
+    return get_engine(dag).best_operations(costs, materialized if materialized else EMPTY_SET)
+
+
 def bestcost(dag: Dag, materialized: Optional[Set[int]] = None) -> float:
     """Convenience wrapper: total cost of the batch given a materialized set."""
-    costs = compute_node_costs(dag, materialized)
-    return total_cost(dag, costs, materialized)
+    engine = get_engine(dag)
+    materialized = materialized if materialized else EMPTY_SET
+    return engine.total(engine.compute_costs(materialized), materialized)

@@ -1,0 +1,218 @@
+"""Array-backed cost engine shared by the optimization hot paths.
+
+The algorithms in this package all evaluate the same cost recurrence
+(Section 3.1 of the paper) over the same immutable AND-OR DAG, thousands of
+times per optimization run.  Walking the object graph each time —
+``sorted(...)`` over the equivalence nodes, attribute chains like
+``operation.children[i].reuse_cost``, per-call ``by_id`` dict rebuilds — is
+what dominated the greedy hot path before this module existed, not the
+arithmetic itself.
+
+:class:`CostEngine` snapshots a built DAG **once** into flat, topo-indexed
+tables (equivalence-node ids in the paper's DAGs are dense ``0..n-1``, so
+plain lists indexed by id suffice):
+
+* ``topo_order`` — node ids sorted by topological number (children first),
+  computed once instead of once per ``compute_node_costs`` call;
+* ``op_table`` — per node, ``(local_cost, ((child_id, multiplier), ...))``
+  tuples, one flat structure per alternative operation;
+* ``parent_ids`` / ``topo_number`` — the upward adjacency used by the
+  incremental cost propagation of Figure 5;
+* ``mat_cost`` / ``reuse_cost`` / ``is_base`` — per-node scalars.
+
+The cost kernels (:meth:`compute_costs`, :meth:`total`,
+:meth:`best_operations`) are written against these tables with no object
+traversal in the inner loop.  ``costing.py`` delegates to them for the public
+API, ``greedy.IncrementalCostState`` propagates over ``op_table`` /
+``parent_ids`` directly (the kernel is inlined in its toggle loop, which runs
+thousands of times per optimization), and ``volcano_sh.plan_node_costs``
+walks ``topo_order`` directly.
+
+Engines are cached per DAG via :func:`get_engine`, keyed on the node/operation
+counts so a DAG that is (atypically) extended after optimization gets a fresh
+snapshot.
+
+Measured effect (see ``benchmarks/bench_fig9_scaleup.py`` and
+``bench_fig10_greedy_complexity.py``; CPython 3.11, this container): greedy
+optimization of the largest scale-up workload CQ5 (303 equivalence nodes,
+1321 operation nodes) dropped from ~41 ms to ~11 ms (~3.8x, ~13 ms with a
+cold engine cache), CQ1 from ~4 ms to ~1.2 ms, with byte-identical plan
+costs for all four algorithms on every tier-1 workload and unchanged
+Figure 10 counters (CQ5: 2913 propagations, 172 benefit recomputations).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.dag.nodes import Dag, DagError, EquivalenceNode, OperationNode
+
+INFINITE_COST = math.inf
+
+#: Shared empty materialized set for the common no-materialization case.
+EMPTY_SET: FrozenSet[int] = frozenset()
+
+#: Cost tables are indexed by node id; both dicts and dense lists qualify.
+CostTable = Union[Dict[int, float], List[float]]
+
+
+class CostEngine:
+    """Flat snapshot of one DAG plus the cost kernels evaluated over it."""
+
+    __slots__ = (
+        "dag",
+        "nodes",
+        "num_nodes",
+        "root_id",
+        "topo_order",
+        "topo_number",
+        "is_base",
+        "mat_cost",
+        "reuse_cost",
+        "op_table",
+        "op_nodes",
+        "parent_ids",
+    )
+
+    def __init__(self, dag: Dag) -> None:
+        if dag.root is None:
+            raise DagError("cannot build a cost engine for a DAG without a root")
+        nodes = dag.equivalence_nodes()
+        for index, node in enumerate(nodes):
+            if node.id != index:
+                raise DagError(
+                    f"equivalence node ids must be dense, got id {node.id} at index {index}"
+                )
+        # Renumber unconditionally: the snapshot is built once per DAG shape,
+        # and existing numbers may be stale if operations were added after a
+        # previous numbering (Dag.add_operation does not invalidate them).
+        dag.assign_topological_numbers()
+
+        self.dag = dag
+        #: id -> EquivalenceNode (ids are dense, so a list is the id map).
+        self.nodes: List[EquivalenceNode] = list(nodes)
+        self.num_nodes = len(nodes)
+        self.root_id = dag.root.id
+        self.topo_number: List[int] = [node.topo_number for node in nodes]
+        self.topo_order: List[int] = sorted(
+            range(self.num_nodes), key=self.topo_number.__getitem__
+        )
+        self.is_base: List[bool] = [node.is_base for node in nodes]
+        self.mat_cost: List[float] = [node.mat_cost for node in nodes]
+        self.reuse_cost: List[float] = [node.reuse_cost for node in nodes]
+        #: Per node: one (local_cost, ((child_id, multiplier), ...)) per operation,
+        #: in the same order as ``node.operations`` (ties keep the first op).
+        self.op_table: List[Tuple[Tuple[float, Tuple[Tuple[int, float], ...]], ...]] = [
+            tuple(
+                (
+                    operation.local_cost,
+                    tuple(
+                        (child.id, multiplier)
+                        for child, multiplier in zip(
+                            operation.children, operation.child_multipliers
+                        )
+                    ),
+                )
+                for operation in node.operations
+            )
+            for node in nodes
+        ]
+        #: Parallel to ``op_table``: the OperationNode objects, for argmin results.
+        self.op_nodes: List[Tuple[OperationNode, ...]] = [
+            tuple(node.operations) for node in nodes
+        ]
+        #: Per node: unique ids of parent equivalence nodes (upward adjacency).
+        self.parent_ids: List[Tuple[int, ...]] = [
+            tuple(sorted({parent.equivalence.id for parent in node.parents}))
+            for node in nodes
+        ]
+
+    # -- cost kernels ---------------------------------------------------------
+    def compute_costs(self, materialized: Set[int] = EMPTY_SET) -> List[float]:
+        """``cost(e)`` for every node, bottom-up; the result is indexed by id."""
+        costs: List[float] = [0.0] * self.num_nodes
+        op_table = self.op_table
+        reuse_cost = self.reuse_cost
+        is_base = self.is_base
+        for node_id in self.topo_order:
+            # Base tables cost 0 even if (atypically) given operations,
+            # matching ``equivalence_cost`` in the reference implementation.
+            if is_base[node_id]:
+                continue
+            operations = op_table[node_id]
+            if not operations:
+                costs[node_id] = INFINITE_COST
+                continue
+            best = INFINITE_COST
+            for local_cost, children in operations:
+                total = local_cost
+                for child_id, multiplier in children:
+                    child = costs[child_id]
+                    if child_id in materialized:
+                        reuse = reuse_cost[child_id]
+                        if reuse < child:
+                            child = reuse
+                    total += multiplier * child
+                if total < best:
+                    best = total
+            costs[node_id] = best
+        return costs
+
+    def total(self, costs: CostTable, materialized: Set[int] = EMPTY_SET) -> float:
+        """``bestcost(Q, M)``: root cost plus computing and materializing ``M``."""
+        total = costs[self.root_id]
+        mat_cost = self.mat_cost
+        # Sorted so the float sum is deterministic for equal sets regardless
+        # of set insertion history (result costs are compared exactly).
+        for node_id in sorted(materialized):
+            total += costs[node_id] + mat_cost[node_id]
+        return total
+
+    def best_operations(
+        self, costs: CostTable, materialized: Set[int] = EMPTY_SET
+    ) -> Dict[int, OperationNode]:
+        """The argmin operation for every non-base node with operations."""
+        choices: Dict[int, OperationNode] = {}
+        reuse_cost = self.reuse_cost
+        is_base = self.is_base
+        for node_id, operations in enumerate(self.op_table):
+            if is_base[node_id] or not operations:
+                continue
+            best_op = None
+            best = INFINITE_COST
+            for op_index, (local_cost, children) in enumerate(operations):
+                total = local_cost
+                for child_id, multiplier in children:
+                    child = costs[child_id]
+                    if child_id in materialized:
+                        reuse = reuse_cost[child_id]
+                        if reuse < child:
+                            child = reuse
+                    total += multiplier * child
+                if total < best:
+                    best = total
+                    best_op = self.op_nodes[node_id][op_index]
+            choices[node_id] = best_op
+        return choices
+
+
+def get_engine(dag: Dag) -> CostEngine:
+    """The cached :class:`CostEngine` for *dag*, rebuilt if the DAG grew.
+
+    The cache key is the (equivalence, operation) node counts, so structural
+    growth via :meth:`Dag.equivalence` / :meth:`Dag.add_operation` triggers a
+    fresh snapshot.  In-place mutation of already-snapshotted scalars
+    (``mat_cost``, ``reuse_cost``, ``local_cost``, multipliers) is **not**
+    detected — the costing API treats a built DAG's annotations as frozen, as
+    every in-repo producer does (the builder annotates during construction
+    only).  Callers that re-annotate an existing DAG must build a fresh DAG
+    (or delete ``dag._cost_engine``) before re-costing.
+    """
+    key = (dag.num_equivalence_nodes, dag.num_operation_nodes)
+    cached = getattr(dag, "_cost_engine", None)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    engine = CostEngine(dag)
+    dag._cost_engine = (key, engine)
+    return engine

@@ -7,21 +7,32 @@ node has positive benefit.  What makes it practical — and what this module
 reproduces in full — are the paper's three implementation optimizations:
 
 1. **Sharability** (Section 4.1): only nodes whose degree of sharing in the
-   DAG exceeds one are candidates.
+   DAG exceeds one are candidates.  All degrees are computed in one batched
+   sweep (:func:`repro.dag.sharability.sharing_degrees`).
 2. **Incremental cost update** (Section 4.2, Figure 5): the cost state is
    maintained across ``bestcost`` calls; toggling one node's materialization
    propagates cost changes upwards in topological order through a heap, so
-   each benefit computation touches only the ancestors of the candidate.
+   each benefit computation touches only the ancestors of the candidate.  The
+   running total ``bestcost(Q, X)`` is itself maintained incrementally under
+   toggle/undo, so a benefit probe costs O(affected ancestors), not
+   O(affected ancestors + |X|).
 3. **The monotonicity heuristic** (Section 4.3): candidates live in a heap
    ordered by an upper bound on their benefit (initially
    ``cost(x) × degree_of_sharing(x)``); only the top candidate's benefit is
-   recomputed, and it is materialized if it stays on top.
+   recomputed, and it is materialized if it stays on top.  Even when
+   sharability detection is disabled the initial bounds use exact
+   multiplier-aware degrees of sharing from the batched sweep —
+   ``len(node.parents)``, the old fallback, undercounts nested-query use
+   multipliers and transitive sharing and is not an upper bound on
+   correlated workloads, so the heap could terminate early.
 
-Each optimization can be disabled independently (:class:`GreedyOptions`),
-which is how the Section 6.3 ablation benchmarks are produced.  The counters
-reported in Figure 10 — cost propagations across equivalence nodes and
-benefit recomputations — are collected in the returned
-:class:`~repro.optimizer.report.OptimizationResult`.
+The hot path runs on the flat-array DAG snapshot of
+:class:`~repro.optimizer.engine.CostEngine` (see its module docstring for the
+measured Figure 9/10 before/after numbers).  Each optimization can be disabled
+independently (:class:`GreedyOptions`), which is how the Section 6.3 ablation
+benchmarks are produced.  The counters reported in Figure 10 — cost
+propagations across equivalence nodes and benefit recomputations — are
+collected in the returned :class:`~repro.optimizer.report.OptimizationResult`.
 """
 
 from __future__ import annotations
@@ -32,13 +43,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.dag.nodes import Dag, EquivalenceNode
-from repro.dag.sharability import sharable_nodes, sharing_degrees
-from repro.optimizer.costing import (
-    best_operations,
-    compute_node_costs,
-    equivalence_cost,
-    total_cost,
-)
+from repro.dag.sharability import sharing_degrees
+from repro.optimizer.costing import best_operations, compute_node_costs, total_cost
+from repro.optimizer.engine import INFINITE_COST, get_engine
 from repro.optimizer.plans import ConsolidatedPlan
 from repro.optimizer.report import OptimizationResult
 
@@ -60,28 +67,26 @@ class IncrementalCostState:
     """The incremental cost update machinery of Figure 5.
 
     Maintains ``cost(e)`` for every equivalence node under the current
-    materialized set, and propagates the effect of materializing (or
+    materialized set, propagates the effect of materializing (or
     un-materializing) a single node upwards through its ancestors in
-    topological order.
+    topological order, and keeps the running total ``bestcost(Q, X)`` in sync
+    so that :meth:`total` is O(1) instead of O(|X|) per benefit probe.
     """
 
     def __init__(self, dag: Dag) -> None:
         self.dag = dag
-        self.nodes_by_id: Dict[int, EquivalenceNode] = {
-            node.id: node for node in dag.equivalence_nodes()
-        }
+        self.engine = get_engine(dag)
+        #: id -> EquivalenceNode (ids are dense, so the engine's list serves).
+        self.nodes_by_id: Sequence[EquivalenceNode] = self.engine.nodes
         self.materialized: Set[int] = set()
-        self.costs: Dict[int, float] = compute_node_costs(dag, self.materialized)
+        self.costs: Dict[int, float] = dict(enumerate(self.engine.compute_costs()))
+        self._total: float = self.costs[self.engine.root_id]
         #: Number of equivalence-node cost propagations (Figure 10, left).
         self.propagations = 0
 
     def total(self) -> float:
         """``bestcost(Q, X)`` for the current materialized set."""
-        total = self.costs[self.dag.root.id]
-        for node_id in self.materialized:
-            node = self.nodes_by_id[node_id]
-            total += self.costs[node_id] + node.mat_cost
-        return total
+        return self._total
 
     def toggle(self, node: EquivalenceNode, add: bool) -> List[Tuple[int, float]]:
         """Materialize (or un-materialize) *node* and propagate cost changes.
@@ -89,57 +94,130 @@ class IncrementalCostState:
         Returns the undo log: the list of ``(node_id, previous_cost)`` entries
         that were overwritten, in propagation order.
         """
+        engine = self.engine
+        costs = self.costs
+        materialized = self.materialized
+        mat_cost = engine.mat_cost
+        reuse_cost = engine.reuse_cost
+        op_table = engine.op_table
+        is_base = engine.is_base
+        parent_ids = engine.parent_ids
+        topo_number = engine.topo_number
+        root_id = engine.root_id
+
+        node_id = node.id
+        if add == (node_id in materialized):
+            # A redundant toggle would double-count the node's contribution in
+            # the incrementally maintained total; fail fast instead.
+            state = "already" if add else "not"
+            raise ValueError(f"node {node_id} is {state} materialized")
+        # The node's own cost never depends on its own membership (the DAG is
+        # acyclic), so its pre-propagation cost is its final cost contribution.
         if add:
-            self.materialized.add(node.id)
+            materialized.add(node_id)
+            self._total += costs[node_id] + mat_cost[node_id]
         else:
-            self.materialized.discard(node.id)
+            materialized.discard(node_id)
+            self._total -= costs[node_id] + mat_cost[node_id]
+
         undo: List[Tuple[int, float]] = []
-        heap: List[Tuple[int, int]] = [(node.topo_number, node.id)]
-        pending = {node.id}
+        heap: List[Tuple[int, int]] = [(topo_number[node_id], node_id)]
+        pending = {node_id}
+        propagations = 0
         while heap:
-            _, node_id = heapq.heappop(heap)
-            pending.discard(node_id)
-            current = self.nodes_by_id[node_id]
-            old_cost = self.costs[node_id]
-            new_cost = equivalence_cost(current, self.costs, self.materialized)
-            self.propagations += 1
-            changed = abs(new_cost - old_cost) > _EPSILON
+            _, current_id = heapq.heappop(heap)
+            pending.discard(current_id)
+            old_cost = costs[current_id]
+            operations = op_table[current_id]
+            if operations and not is_base[current_id]:
+                new_cost = INFINITE_COST
+                for local_cost, children in operations:
+                    candidate = local_cost
+                    for child_id, multiplier in children:
+                        child = costs[child_id]
+                        if child_id in materialized:
+                            reuse = reuse_cost[child_id]
+                            if reuse < child:
+                                child = reuse
+                        candidate += multiplier * child
+                    if candidate < new_cost:
+                        new_cost = candidate
+            else:
+                new_cost = old_cost
+            propagations += 1
+            delta = new_cost - old_cost
+            changed = delta > _EPSILON or delta < -_EPSILON
             if changed:
-                undo.append((node_id, old_cost))
-                self.costs[node_id] = new_cost
-            if changed or node_id == node.id:
-                for parent_op in current.parents:
-                    parent = parent_op.equivalence
-                    if parent.id not in pending:
-                        pending.add(parent.id)
-                        heapq.heappush(heap, (parent.topo_number, parent.id))
+                undo.append((current_id, old_cost))
+                costs[current_id] = new_cost
+                if current_id == root_id:
+                    self._total += delta
+                if current_id in materialized:
+                    self._total += delta
+            if changed or current_id == node_id:
+                for parent_id in parent_ids[current_id]:
+                    if parent_id not in pending:
+                        pending.add(parent_id)
+                        heapq.heappush(heap, (topo_number[parent_id], parent_id))
+        self.propagations += propagations
         return undo
 
     def undo(self, node: EquivalenceNode, undo_log: List[Tuple[int, float]], added: bool) -> None:
         """Revert a previous :meth:`toggle`."""
+        engine = self.engine
+        costs = self.costs
+        materialized = self.materialized
+        root_id = engine.root_id
         for node_id, old_cost in reversed(undo_log):
-            self.costs[node_id] = old_cost
+            delta = old_cost - costs[node_id]
+            if node_id == root_id:
+                self._total += delta
+            if node_id in materialized:
+                self._total += delta
+            costs[node_id] = old_cost
+        contribution = costs[node.id] + engine.mat_cost[node.id]
         if added:
-            self.materialized.discard(node.id)
+            materialized.discard(node.id)
+            self._total -= contribution
         else:
-            self.materialized.add(node.id)
+            materialized.add(node.id)
+            self._total += contribution
 
     def cost_with(self, node: EquivalenceNode) -> float:
         """``bestcost(Q, X ∪ {node})`` without permanently changing the state."""
+        previous_total = self._total
         undo_log = self.toggle(node, add=True)
-        total = self.total()
+        total = self._total
         self.undo(node, undo_log, added=True)
+        # The reversed arithmetic restores the total only up to floating-point
+        # associativity; restore the exact value to keep long runs drift-free.
+        self._total = previous_total
         return total
 
 
-def _candidate_nodes(dag: Dag, options: GreedyOptions) -> List[EquivalenceNode]:
+def _candidate_nodes(
+    dag: Dag, options: GreedyOptions
+) -> Tuple[List[EquivalenceNode], Optional[Dict[int, float]]]:
+    """The greedy candidate set, plus sharing degrees when sharability is on.
+
+    Degrees are computed once, in a single batched sweep, and reused both for
+    candidate selection (degree > 1) and for the monotonicity heap's initial
+    upper bounds.
+    """
     if options.use_sharability:
-        return sharable_nodes(dag)
-    return [
+        degrees = sharing_degrees(dag)
+        candidates = [
+            node
+            for node in dag.equivalence_nodes()
+            if degrees.get(node.id, 0.0) > 1.0 and not node.is_base and node is not dag.root
+        ]
+        return candidates, degrees
+    candidates = [
         node
         for node in dag.equivalence_nodes()
         if not node.is_base and node is not dag.root
     ]
+    return candidates, None
 
 
 def optimize_greedy(dag: Dag, options: Optional[GreedyOptions] = None) -> OptimizationResult:
@@ -155,34 +233,42 @@ def optimize_greedy(dag: Dag, options: Optional[GreedyOptions] = None) -> Optimi
 
     state = IncrementalCostState(dag)
     baseline_costs = dict(state.costs)
-    candidates = _candidate_nodes(dag, options)
+    candidates, degrees = _candidate_nodes(dag, options)
     counters["candidates"] = len(candidates)
 
     materialized: Set[int] = set()
     if candidates:
         if options.use_monotonicity:
-            materialized = _greedy_monotonic(dag, state, candidates, baseline_costs, options, counters)
+            materialized = _greedy_monotonic(
+                dag, state, candidates, baseline_costs, degrees, options, counters
+            )
         else:
             materialized = _greedy_full_recompute(dag, state, candidates, options, counters)
 
     counters["cost_propagations"] = state.propagations
 
-    final_costs = compute_node_costs(dag, materialized)
-    choices = best_operations(dag, final_costs, materialized)
-    plan = ConsolidatedPlan(dag, choices, set(materialized))
-    # Drop materializations that ended up unused in the final plan.
-    reachable_ids = {node.id for node in plan.reachable()}
-    used = {
-        node_id
-        for node_id in materialized
-        if any(
-            child.id == node_id
-            for eq_id in reachable_ids
-            for child in (choices.get(eq_id).children if choices.get(eq_id) else ())
-        )
-    }
-    plan.materialized = used
-    cost = total_cost(dag, final_costs, used)
+    # Drop materializations that ended up unused in the final plan.  Dropping
+    # one can orphan another that was only used to build it, and the operation
+    # choices must be recomputed for the pruned set (an op chosen because it
+    # reused a now-dropped node may no longer be the argmin), so recompute and
+    # prune to fixpoint.  Pruning an unused node never raises the root's cost
+    # — no chosen operation referenced it — so each round's total is no worse.
+    while True:
+        final_costs = compute_node_costs(dag, materialized)
+        choices = best_operations(dag, final_costs, materialized)
+        plan = ConsolidatedPlan(dag, choices, set(materialized))
+        used: Set[int] = set()
+        for node in plan.reachable():
+            operation = choices.get(node.id)
+            if operation is None:
+                continue
+            for child in operation.children:
+                if child.id in materialized:
+                    used.add(child.id)
+        if used == materialized:
+            break
+        materialized = used
+    cost = total_cost(dag, final_costs, materialized)
     elapsed = time.perf_counter() - start
 
     return OptimizationResult(
@@ -221,14 +307,24 @@ def _greedy_monotonic(
     state: IncrementalCostState,
     candidates: Sequence[EquivalenceNode],
     baseline_costs: Dict[int, float],
+    degrees: Optional[Dict[int, float]],
     options: GreedyOptions,
     counters: Dict[str, int],
 ) -> Set[int]:
     """Greedy loop with the benefit upper-bound heap (monotonicity heuristic)."""
-    degrees = sharing_degrees(dag) if options.use_sharability else {}
+    if degrees is None:
+        # Sharability detection is off, but the heap still needs genuine upper
+        # bounds: local surrogates (``len(node.parents)``, or even the
+        # multiplier-weighted direct use count) undercount transitive sharing
+        # through shared ancestors and nested-query invocations, letting the
+        # heap terminate before a profitable candidate surfaces.  The batched
+        # sweep makes the exact degrees cheap, so use them for the bounds
+        # (the candidate *set* stays unfiltered — that is what the
+        # sharability ablation disables).
+        degrees = sharing_degrees(dag, candidates)
     heap: List[Tuple[float, int]] = []
     for node in candidates:
-        degree = degrees.get(node.id, float(max(1, len(node.parents))))
+        degree = degrees.get(node.id, 1.0)
         upper_bound = baseline_costs[node.id] * max(degree, 1.0)
         heapq.heappush(heap, (-upper_bound, node.id))
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.dag.nodes import Dag, EquivalenceNode, OperationNode
+from repro.dag.nodes import Dag, DagError, EquivalenceNode, OperationNode
 
 
 class PlanError(RuntimeError):
@@ -92,10 +92,10 @@ class ConsolidatedPlan:
         return total
 
     def _node(self, node_id: int) -> EquivalenceNode:
-        for node in self.dag.equivalence_nodes():
-            if node.id == node_id:
-                return node
-        raise PlanError(f"unknown equivalence node id {node_id}")
+        try:
+            return self.dag.node_by_id(node_id)
+        except DagError as error:
+            raise PlanError(str(error)) from None
 
     def materialized_labels(self) -> List[str]:
         return [self._node(node_id).label for node_id in sorted(self.materialized)]

@@ -11,6 +11,11 @@ The combined plan is then handed to Volcano-SH, which makes the final
 materialization decisions.  Because the result depends on the query order,
 the algorithm is run on the given order and on its reverse, and the cheaper
 outcome is returned — exactly the variant evaluated in the paper.
+
+The per-query re-costing (one ``compute_node_costs``/``best_operations``
+round per query per order) runs on the shared
+:class:`~repro.optimizer.engine.CostEngine` snapshot of the DAG, as does the
+final Volcano-SH pass, so no pass re-sorts the DAG or rebuilds id maps.
 """
 
 from __future__ import annotations

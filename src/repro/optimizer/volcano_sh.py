@@ -27,6 +27,7 @@ from typing import Dict, Optional, Set, Tuple
 
 from repro.dag.nodes import Dag, EquivalenceNode, OperationNode
 from repro.optimizer.costing import INFINITE_COST, compute_node_costs
+from repro.optimizer.engine import get_engine
 from repro.optimizer.plans import ConsolidatedPlan
 from repro.optimizer.report import OptimizationResult
 from repro.optimizer.volcano import consolidated_best_plan
@@ -43,14 +44,20 @@ def plan_node_costs(
     minimize over alternatives — Volcano-SH keeps the Volcano plan structure.
     Nodes without a choice (not part of the plan) fall back to the minimum
     over their operations so that subsumption children swapped into the plan
-    still get a cost.
+    still get a cost.  The pass runs over the shared
+    :class:`~repro.optimizer.engine.CostEngine` snapshot (pre-sorted topo
+    order, per-node reuse costs) instead of re-sorting the DAG per call.
     """
+    engine = get_engine(dag)
+    reuse_cost = engine.reuse_cost
+    nodes = engine.nodes
     costs: Dict[int, float] = {}
-    for node in sorted(dag.equivalence_nodes(), key=lambda n: n.topo_number):
+    for node_id in engine.topo_order:
+        node = nodes[node_id]
         if node.is_base:
-            costs[node.id] = 0.0
+            costs[node_id] = 0.0
             continue
-        operation = choices.get(node.id)
+        operation = choices.get(node_id)
         candidates = [operation] if operation is not None else list(node.operations)
         best = INFINITE_COST
         for candidate in candidates:
@@ -58,10 +65,10 @@ def plan_node_costs(
             for child, multiplier in zip(candidate.children, candidate.child_multipliers):
                 child_cost = costs[child.id]
                 if child.id in materialized:
-                    child_cost = min(child_cost, child.reuse_cost)
+                    child_cost = min(child_cost, reuse_cost[child.id])
                 cost += multiplier * child_cost
             best = min(best, cost)
-        costs[node.id] = best
+        costs[node_id] = best
     return costs
 
 
@@ -201,9 +208,9 @@ def volcano_sh_pass(
     materialized &= reachable_ids
     final_costs = plan_node_costs(dag, choices, materialized)
     total = final_costs[dag.root.id]
-    nodes_by_id = {node.id: node for node in dag.equivalence_nodes()}
-    for node_id in materialized:
-        total += final_costs[node_id] + nodes_by_id[node_id].mat_cost
+    mat_cost = get_engine(dag).mat_cost
+    for node_id in sorted(materialized):
+        total += final_costs[node_id] + mat_cost[node_id]
 
     # Volcano-SH only adds sharing on top of the Volcano plan; if the
     # heuristic decisions (made with the numuses underestimate) did not pay

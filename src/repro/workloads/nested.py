@@ -10,13 +10,13 @@ the paper's point is precisely that no special-case code is needed.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Sequence
+from typing import Callable, Iterable, List, Optional
 
 from repro.dag.builder import Query
 
 
 def parameterized_batch(
-    template: Callable[..., Query], parameter_values: Iterable, name: str = None
+    template: Callable[..., Query], parameter_values: Iterable, name: Optional[str] = None
 ) -> List[Query]:
     """Instantiate *template* once per parameter value.
 
