@@ -8,8 +8,14 @@ number of queries.
 
 Reference points for the array-backed cost engine
 (:mod:`repro.optimizer.engine`): before the engine, greedy optimization took
-~4.0/13/21/32/41 ms on CQ1..CQ5 (CPython 3.11, this container); with it,
-~1.2/3.5/7.1/9.6/11 ms — a ~3.8x win at CQ5 with identical plan costs.
+~4.0/13/21/32/41 ms on CQ1..CQ5 (CPython 3.11, this container); the PR 1
+array engine brought that to ~1.2/3.5/7.1/9.6/13 ms, and the dense
+incremental state + fused monotonicity probe loop (PR 2) to
+~0.7/2.1/3.6/4.8/7 ms — identical plan costs and Figure 10 counters
+throughout.  The same PR 2 rework made Volcano-RU incremental: CQ5 dropped
+from ~53 ms to ~5 ms.  ``harness.py --perf-gate`` guards the greedy times
+against regressions in CI (normalized against a fixed calibration loop,
+baseline in ``benchmarks/perf_baseline.json``).
 """
 
 import pytest

@@ -13,9 +13,11 @@ factor, and how costs scale — is what EXPERIMENTS.md records.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
-from typing import Dict, Iterable, List, Sequence
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
 
 # Make ``src`` importable when this file is executed directly
 # (``python benchmarks/harness.py --smoke``); under pytest the benchmark
@@ -78,7 +80,20 @@ def psp_optimizer() -> MQOptimizer:
     return MQOptimizer(psp_catalog())
 
 
-def smoke(batch_index: int = 2) -> None:
+def results_as_json(results: Dict[str, OptimizationResult]) -> Dict[str, dict]:
+    """Machine-readable form of one workload's results (for CI artifacts)."""
+    return {
+        name: {
+            "cost": result.cost,
+            "optimization_time_ms": result.optimization_time * 1000.0,
+            "materialized": sorted(result.plan.materialized),
+            "counters": dict(sorted(result.counters.items())),
+        }
+        for name, result in results.items()
+    }
+
+
+def smoke(batch_index: int = 2, json_path: Optional[str] = None) -> None:
     """Run one small batched workload end-to-end and check the cost ordering.
 
     Used by CI (``python benchmarks/harness.py --smoke``) so that the
@@ -99,8 +114,130 @@ def smoke(batch_index: int = 2) -> None:
     greedy = results["Greedy"]
     # The materialized ids belong to the DAG the result was computed on.
     assert greedy.cost == bestcost(greedy.plan.dag, greedy.plan.materialized)
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump({f"BQ{batch_index}": results_as_json(results)}, handle, indent=1,
+                      sort_keys=True)
+        print(f"smoke results written to {json_path}")
     print(f"\nsmoke ok: {len(queries)} queries, greedy cost {greedy.cost:.2f}, "
           f"{greedy.materialized_count} materializations")
+
+
+# ---------------------------------------------------------------------------
+# Perf-regression gate (CI)
+# ---------------------------------------------------------------------------
+
+#: Figure 9 workloads timed by the gate (the greedy hot path the engine work
+#: targets; CQ5 is the toggle-dominated worst case).
+PERF_GATE_WORKLOADS = ("CQ1", "CQ3", "CQ5")
+PERF_GATE_TOLERANCE = 1.5
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "perf_baseline.json")
+
+
+def _calibrate(repeats: int = 3) -> float:
+    """Seconds for a fixed pure-Python workload, as a machine-speed unit.
+
+    Greedy wall times are only comparable across machines (laptop vs. CI
+    runner) after dividing by how fast the interpreter runs comparable
+    bytecode, so the gate stores and compares *normalized* times.  The
+    calibration loop intentionally lives outside the repro package: if it
+    used the optimizer itself, speeding the optimizer up would silently
+    loosen the gate.
+    """
+    data = [float(i % 97) + 0.5 for i in range(5_000)]
+    table: Dict[int, float] = {}
+
+    def spin() -> float:
+        acc = 0.0
+        for _ in range(40):
+            for i, value in enumerate(data):
+                acc += value * 1.0000001
+                if not i & 1023:
+                    table[i] = acc
+        return acc
+
+    spin()  # warm-up
+    return min(_best_of(spin, repeats))
+
+
+def _best_of(fn, repeats: int) -> List[float]:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def measure_greedy_times(repeats: int = 7) -> Dict[str, float]:
+    """Min-of-N greedy optimization seconds for the gate workloads."""
+    from repro import Algorithm
+    from repro.workloads.scaleup import all_scaleup_workloads
+
+    optimizer = psp_optimizer()
+    workloads = all_scaleup_workloads()
+    times: Dict[str, float] = {}
+    for name in PERF_GATE_WORKLOADS:
+        queries = workloads[name]
+        dag = optimizer.build_dag(queries)
+        run = lambda: optimizer.optimize(queries, Algorithm.GREEDY, dag=dag)
+        run()  # warm caches (cost engine snapshot)
+        times[name] = min(_best_of(run, repeats))
+    return times
+
+
+def perf_gate(baseline_path: str, update: bool = False,
+              tolerance: float = PERF_GATE_TOLERANCE) -> int:
+    """Fail (non-zero) if fig9 greedy times regress beyond the tolerance band.
+
+    Times are normalized by :func:`_calibrate` so the checked-in baseline
+    transfers across machines; the band (default 1.5x) absorbs the remaining
+    scheduling noise.
+    """
+    calibration = _calibrate()
+    times = measure_greedy_times()
+    normalized = {name: t / calibration for name, t in times.items()}
+    print(f"calibration: {calibration * 1000:.2f} ms")
+    for name in PERF_GATE_WORKLOADS:
+        print(f"{name}: greedy {times[name] * 1000:.2f} ms "
+              f"(normalized {normalized[name]:.3f})")
+
+    if update:
+        payload = {
+            "calibration_s": calibration,
+            "greedy_s": times,
+            "greedy_normalized": normalized,
+            "tolerance": tolerance,
+        }
+        with open(baseline_path, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"baseline written to {baseline_path}")
+        return 0
+
+    try:
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        print(f"ERROR: no perf baseline at {baseline_path}; "
+              "run with --update-baseline first", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in PERF_GATE_WORKLOADS:
+        reference = baseline["greedy_normalized"][name]
+        limit = reference * tolerance
+        if normalized[name] > limit:
+            failures.append(
+                f"{name}: normalized greedy time {normalized[name]:.3f} exceeds "
+                f"baseline {reference:.3f} x {tolerance} = {limit:.3f}"
+            )
+    if failures:
+        print("PERF REGRESSION:\n  " + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    print("perf gate ok: all workloads within "
+          f"{tolerance}x of the normalized baseline")
+    return 0
 
 
 def _main(argv: List[str]) -> int:
@@ -111,10 +248,22 @@ def _main(argv: List[str]) -> int:
                         help="run one small batched workload end-to-end (used by CI)")
     parser.add_argument("--batch", type=int, default=2, metavar="1..5",
                         help="which BQ_i batch the smoke run uses (default: 2)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="with --smoke: also write the results as JSON")
+    parser.add_argument("--perf-gate", action="store_true",
+                        help="fail if fig9 greedy times regress beyond the "
+                             "tolerance band vs. the checked-in baseline")
+    parser.add_argument("--baseline", metavar="PATH", default=DEFAULT_BASELINE,
+                        help="perf baseline JSON (default: benchmarks/perf_baseline.json)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="with --perf-gate: rewrite the baseline instead of checking")
     args = parser.parse_args(argv)
+    if args.perf_gate:
+        return perf_gate(args.baseline, update=args.update_baseline)
     if not args.smoke:
-        parser.error("nothing to do: pass --smoke (the full suite runs via pytest)")
-    smoke(batch_index=args.batch)
+        parser.error("nothing to do: pass --smoke or --perf-gate "
+                     "(the full suite runs via pytest)")
+    smoke(batch_index=args.batch, json_path=args.json)
     return 0
 
 

@@ -673,7 +673,11 @@ class DagBuilder:
         for member in members[1:]:
             props = self.estimator.join(props, member.properties, [])
         selectivity = 1.0
-        for predicate in predicates:
+        # Sorted: ``predicates`` is a frozenset, and float multiplication is
+        # not associative — iterating in hash order made the row estimate
+        # (and thus near-tie plan choices on the correlated Q2 workloads)
+        # vary with PYTHONHASHSEED from run to run.
+        for predicate in sorted(predicates, key=str):
             selectivity *= self.estimator.predicate_selectivity(predicate, props)
         return props.with_rows(props.rows * selectivity)
 

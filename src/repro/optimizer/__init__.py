@@ -20,7 +20,12 @@ from repro.optimizer.costing import (
     compute_node_costs,
     total_cost,
 )
-from repro.optimizer.engine import CostEngine, get_engine
+from repro.optimizer.engine import (
+    CostEngine,
+    CostTableView,
+    IncrementalCostState,
+    get_engine,
+)
 from repro.optimizer.plans import ConsolidatedPlan, PlanNode, extract_plan
 from repro.optimizer.report import OptimizationResult
 from repro.optimizer.volcano import optimize_volcano
@@ -35,6 +40,8 @@ __all__ = [
     "best_operations",
     "bestcost",
     "CostEngine",
+    "CostTableView",
+    "IncrementalCostState",
     "get_engine",
     "ConsolidatedPlan",
     "PlanNode",

@@ -24,15 +24,18 @@ Two implementations coexist:
   :class:`~repro.optimizer.engine.CostEngine` snapshot of the DAG, which
   removes the per-call topological sort, ``by_id`` dict rebuilds, and
   attribute-chain traversal that used to dominate the optimizer hot paths.
+  :func:`compute_node_costs` returns the engine's dense cost list wrapped in
+  a dict-compatible :class:`~repro.optimizer.engine.CostTableView` (node ids
+  are dense ``0..n-1``), so no per-call ``{id: cost}`` dict is materialized.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Mapping, Optional, Set
 
 from repro.dag.nodes import Dag, EquivalenceNode, OperationNode
-from repro.optimizer.engine import EMPTY_SET, get_engine
+from repro.optimizer.engine import EMPTY_SET, CostTableView, get_engine
 
 INFINITE_COST = math.inf
 
@@ -123,22 +126,26 @@ def best_operations_reference(
 # Engine-backed public entry points
 # ---------------------------------------------------------------------------
 
-def compute_node_costs(dag: Dag, materialized: Optional[Set[int]] = None) -> Dict[int, float]:
-    """Compute ``cost(e)`` for every equivalence node, bottom-up."""
+def compute_node_costs(dag: Dag, materialized: Optional[Set[int]] = None) -> Mapping[int, float]:
+    """Compute ``cost(e)`` for every equivalence node, bottom-up.
+
+    The result is a dict-compatible read-only view of the dense cost table
+    (see :class:`~repro.optimizer.engine.CostTableView`).
+    """
     engine = get_engine(dag)
     values = engine.compute_costs(materialized if materialized else EMPTY_SET)
-    return dict(enumerate(values))
+    return CostTableView(values)
 
 
 def total_cost(
-    dag: Dag, costs: Dict[int, float], materialized: Optional[Set[int]] = None
+    dag: Dag, costs: Mapping[int, float], materialized: Optional[Set[int]] = None
 ) -> float:
     """``bestcost(Q, M)``: plan cost plus computing and materializing ``M``."""
     return get_engine(dag).total(costs, materialized if materialized else EMPTY_SET)
 
 
 def best_operations(
-    dag: Dag, costs: Dict[int, float], materialized: Optional[Set[int]] = None
+    dag: Dag, costs: Mapping[int, float], materialized: Optional[Set[int]] = None
 ) -> Dict[int, OperationNode]:
     """The argmin operation for every non-base equivalence node."""
     return get_engine(dag).best_operations(costs, materialized if materialized else EMPTY_SET)

@@ -23,10 +23,36 @@ plain lists indexed by id suffice):
 The cost kernels (:meth:`compute_costs`, :meth:`total`,
 :meth:`best_operations`) are written against these tables with no object
 traversal in the inner loop.  ``costing.py`` delegates to them for the public
-API, ``greedy.IncrementalCostState`` propagates over ``op_table`` /
-``parent_ids`` directly (the kernel is inlined in its toggle loop, which runs
-thousands of times per optimization), and ``volcano_sh.plan_node_costs``
-walks ``topo_order`` directly.
+API and wraps the dense result lists in :class:`CostTableView`, a read-only
+mapping that behaves like the ``{node_id: cost}`` dicts the API historically
+returned.
+
+**Dense incremental state.**  :class:`IncrementalCostState` — the Figure 5
+incremental cost update — lives here as well (it used to live in
+``greedy.py``; the name is re-exported there).  Its tables are flat
+id-indexed lists, not dicts:
+
+* ``_costs`` — ``cost(e)`` per node (exposed dict-style via ``state.costs``);
+* ``_effective`` — the memoized ``C(e) = min(cost(e), reusecost(e))`` for
+  materialized nodes and plain ``cost(e)`` otherwise, so the propagation
+  inner loop is a single indexed read per child with **no** membership test;
+* ``_mat_flags`` / ``_pending`` — bytearray flags replacing set membership
+  tests in the propagation loop.
+
+Benefit probes are served by :meth:`IncrementalCostState.cost_with_id` (one
+toggle + exact-restore pass, no intermediate undo arithmetic), batched over a
+fixed state by :meth:`IncrementalCostState.probe_many`, and fully fused —
+probe chain, heap decisions, and hot tables bound once — in
+:meth:`IncrementalCostState.run_monotonic_heap`.  Probes of
+*independent* candidates (disjoint ancestor cones per ``parent_ids``) are
+still evaluated sequentially rather than under cumulative toggles: every
+candidate with a positive benefit changes the root cost, so any two useful
+probes share the root's summation and their float deltas would stop being
+byte-identical to the one-at-a-time reference if the toggles were stacked.
+The batching therefore fuses per-probe Python overhead (call frames,
+attribute lookups, undo-log arithmetic), which is what actually showed up in
+profiles, and keeps every cost, plan, and Figure 10 counter bit-for-bit
+unchanged.
 
 Engines are cached per DAG via :func:`get_engine`, keyed on the node/operation
 counts so a DAG that is (atypically) extended after optimization gets a fresh
@@ -35,26 +61,111 @@ snapshot.
 Measured effect (see ``benchmarks/bench_fig9_scaleup.py`` and
 ``bench_fig10_greedy_complexity.py``; CPython 3.11, this container): greedy
 optimization of the largest scale-up workload CQ5 (303 equivalence nodes,
-1321 operation nodes) dropped from ~41 ms to ~11 ms (~3.8x, ~13 ms with a
-cold engine cache), CQ1 from ~4 ms to ~1.2 ms, with byte-identical plan
-costs for all four algorithms on every tier-1 workload and unchanged
-Figure 10 counters (CQ5: 2913 propagations, 172 benefit recomputations).
+1321 operation nodes) dropped from ~41 ms (object graph) to ~13 ms (array
+engine, PR 1) to ~7 ms (dense incremental state + fused probe loop, this
+revision), CQ1 from ~1.1 ms to ~0.7 ms; Volcano-RU on CQ5 dropped from
+~53 ms to ~5 ms (incremental per-query costing plus the dense Volcano-SH
+plan pass) and on the fig8 batch BQ5 from ~13 ms to ~4 ms — all with
+byte-identical plan costs, materialized sets, and counters for all four
+algorithms on every tier-1 workload and unchanged Figure 10 counters
+(CQ5: 2913 propagations, 172 benefit recomputations).
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.dag.nodes import Dag, DagError, EquivalenceNode, OperationNode
 
 INFINITE_COST = math.inf
 
+#: Cost deltas below this magnitude are treated as unchanged by the
+#: incremental propagation (guards against float jitter re-propagating).
+_EPSILON = 1e-9
+
 #: Shared empty materialized set for the common no-materialization case.
 EMPTY_SET: FrozenSet[int] = frozenset()
 
-#: Cost tables are indexed by node id; both dicts and dense lists qualify.
-CostTable = Union[Dict[int, float], List[float]]
+#: Cost tables are indexed by node id; dicts, dense lists, and views qualify.
+CostTable = Union[Dict[int, float], List[float], "CostTableView"]
+
+
+class CostTableView(Mapping):
+    """Read-only dict-style view of a dense id-indexed cost list.
+
+    The public costing API historically returned ``{node_id: cost}`` dicts
+    with the dense key set ``0..n-1``.  The engine now keeps costs in flat
+    lists; this view preserves the mapping API (indexing, ``in``, ``len``,
+    iteration, ``.items()``/``.keys()``/``.values()``, ``.get``, equality
+    with plain dicts) without copying the table on every call.  Hot paths
+    bypass it and read the underlying list directly.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Sequence[float]) -> None:
+        self._values = values
+
+    def __getitem__(self, node_id: int) -> float:
+        # Dict semantics: no negative-index aliasing, KeyError on misses.
+        if isinstance(node_id, int) and 0 <= node_id < len(self._values):
+            return self._values[node_id]
+        raise KeyError(node_id)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(len(self._values)))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, node_id: object) -> bool:
+        return isinstance(node_id, int) and 0 <= node_id < len(self._values)
+
+    def get(self, node_id: int, default: Optional[float] = None) -> Optional[float]:
+        if isinstance(node_id, int) and 0 <= node_id < len(self._values):
+            return self._values[node_id]
+        return default
+
+    # ``items()``/``keys()``/``values()`` are inherited from the Mapping ABC:
+    # they return reusable multi-pass views, matching dict semantics (an
+    # iterator-returning override would exhaust after one pass).
+
+    def copy(self) -> Dict[int, float]:
+        return dict(enumerate(self._values))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CostTableView):
+            return list(self._values) == list(other._values)
+        if isinstance(other, Mapping):
+            if len(other) != len(self._values):
+                return False
+            try:
+                return all(other[i] == value for i, value in enumerate(self._values))
+            except KeyError:
+                return False
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        return f"CostTableView({dict(enumerate(self._values))!r})"
 
 
 class CostEngine:
@@ -67,11 +178,14 @@ class CostEngine:
         "root_id",
         "topo_order",
         "topo_number",
+        "topo_key",
         "is_base",
         "mat_cost",
         "reuse_cost",
         "op_table",
+        "op_specs",
         "op_nodes",
+        "op_entry_by_op_id",
         "parent_ids",
     )
 
@@ -98,6 +212,14 @@ class CostEngine:
         self.topo_order: List[int] = sorted(
             range(self.num_nodes), key=self.topo_number.__getitem__
         )
+        #: ``topo_number * num_nodes + id``: a single-int heap key whose
+        #: ordering equals the ``(topo_number, id)`` tuple's, decoded with
+        #: ``key % num_nodes`` — avoids a tuple allocation and a tuple
+        #: comparison per propagation-frontier push/pop.
+        self.topo_key: List[int] = [
+            number * self.num_nodes + node_id
+            for node_id, number in enumerate(self.topo_number)
+        ]
         self.is_base: List[bool] = [node.is_base for node in nodes]
         self.mat_cost: List[float] = [node.mat_cost for node in nodes]
         self.reuse_cost: List[float] = [node.reuse_cost for node in nodes]
@@ -122,6 +244,39 @@ class CostEngine:
         self.op_nodes: List[Tuple[OperationNode, ...]] = [
             tuple(node.operations) for node in nodes
         ]
+        #: Arity-specialized variant of ``op_table`` for the propagation inner
+        #: loop: ``None`` for nodes that are never recomputed (base tables,
+        #: operation-less nodes); otherwise one entry per operation —
+        #: ``(c1, m1, c2, m2, local)`` for the dominant two-child shape,
+        #: ``(c1, m1, local)`` for one child, ``(children, local)`` otherwise
+        #: — distinguished by ``len``.  A single unpack plus one arithmetic
+        #: expression replaces the nested child loop; the left-associated
+        #: expression evaluates bit-identically to the sequential
+        #: accumulation it replaces.
+        self.op_specs: List[Optional[Tuple[tuple, ...]]] = []
+        for node_id, operations in enumerate(self.op_table):
+            if self.is_base[node_id] or not operations:
+                self.op_specs.append(None)
+                continue
+            specs = []
+            for local_cost, children in operations:
+                if len(children) == 2:
+                    (c1, m1), (c2, m2) = children
+                    specs.append((c1, m1, c2, m2, local_cost))
+                elif len(children) == 1:
+                    ((c1, m1),) = children
+                    specs.append((c1, m1, local_cost))
+                else:
+                    specs.append((children, local_cost))
+            self.op_specs.append(tuple(specs))
+        #: Operation-node id -> its flat ``(local_cost, children)`` entry, for
+        #: costing a *given* operation (Volcano-SH prices the plan's chosen
+        #: operation rather than the argmin).  Operation ids are dense.
+        self.op_entry_by_op_id: Dict[int, Tuple[float, Tuple[Tuple[int, float], ...]]] = {
+            operation.id: entry
+            for node_id in range(self.num_nodes)
+            for operation, entry in zip(self.op_nodes[node_id], self.op_table[node_id])
+        }
         #: Per node: unique ids of parent equivalence nodes (upward adjacency).
         self.parent_ids: List[Tuple[int, ...]] = [
             tuple(sorted({parent.equivalence.id for parent in node.parents}))
@@ -130,37 +285,61 @@ class CostEngine:
 
     # -- cost kernels ---------------------------------------------------------
     def compute_costs(self, materialized: Set[int] = EMPTY_SET) -> List[float]:
-        """``cost(e)`` for every node, bottom-up; the result is indexed by id."""
+        """``cost(e)`` for every node, bottom-up; the result is indexed by id.
+
+        The inner loop reads the memoized effective child cost
+        ``C(e) = min(cost(e), reusecost(e) if e ∈ M)`` from a side table
+        maintained with one membership test per *node* instead of one per
+        child read; with no materializations the side table aliases the cost
+        list outright.
+        """
         costs: List[float] = [0.0] * self.num_nodes
-        op_table = self.op_table
+        # C(e) per node; identical to ``costs`` when nothing is materialized.
+        effective = costs if not materialized else [0.0] * self.num_nodes
+        op_specs = self.op_specs
         reuse_cost = self.reuse_cost
         is_base = self.is_base
+        distinct = effective is not costs
         for node_id in self.topo_order:
             # Base tables cost 0 even if (atypically) given operations,
             # matching ``equivalence_cost`` in the reference implementation.
             if is_base[node_id]:
-                continue
-            operations = op_table[node_id]
-            if not operations:
-                costs[node_id] = INFINITE_COST
-                continue
-            best = INFINITE_COST
-            for local_cost, children in operations:
-                total = local_cost
-                for child_id, multiplier in children:
-                    child = costs[child_id]
-                    if child_id in materialized:
-                        reuse = reuse_cost[child_id]
-                        if reuse < child:
-                            child = reuse
-                    total += multiplier * child
-                if total < best:
-                    best = total
-            costs[node_id] = best
+                cost = 0.0
+            else:
+                operations = op_specs[node_id]
+                if operations is None:
+                    cost = INFINITE_COST
+                else:
+                    cost = INFINITE_COST
+                    for entry in operations:
+                        arity = len(entry)
+                        if arity == 5:
+                            c1, m1, c2, m2, local_cost = entry
+                            candidate = (
+                                local_cost + m1 * effective[c1] + m2 * effective[c2]
+                            )
+                        elif arity == 3:
+                            c1, m1, local_cost = entry
+                            candidate = local_cost + m1 * effective[c1]
+                        else:
+                            children, candidate = entry
+                            for child_id, multiplier in children:
+                                candidate += multiplier * effective[child_id]
+                        if candidate < cost:
+                            cost = candidate
+                costs[node_id] = cost
+            if distinct:
+                if node_id in materialized:
+                    reuse = reuse_cost[node_id]
+                    effective[node_id] = reuse if reuse < cost else cost
+                else:
+                    effective[node_id] = cost
         return costs
 
     def total(self, costs: CostTable, materialized: Set[int] = EMPTY_SET) -> float:
         """``bestcost(Q, M)``: root cost plus computing and materializing ``M``."""
+        if isinstance(costs, CostTableView):
+            costs = costs._values
         total = costs[self.root_id]
         mat_cost = self.mat_cost
         # Sorted so the float sum is deterministic for equal sets regardless
@@ -173,28 +352,442 @@ class CostEngine:
         self, costs: CostTable, materialized: Set[int] = EMPTY_SET
     ) -> Dict[int, OperationNode]:
         """The argmin operation for every non-base node with operations."""
+        if isinstance(costs, CostTableView):
+            costs = costs._values
         choices: Dict[int, OperationNode] = {}
-        reuse_cost = self.reuse_cost
-        is_base = self.is_base
-        for node_id, operations in enumerate(self.op_table):
-            if is_base[node_id] or not operations:
+        effective = self.effective_costs(costs, materialized)
+        op_nodes = self.op_nodes
+        for node_id, operations in enumerate(self.op_specs):
+            if operations is None:
                 continue
             best_op = None
             best = INFINITE_COST
-            for op_index, (local_cost, children) in enumerate(operations):
-                total = local_cost
-                for child_id, multiplier in children:
-                    child = costs[child_id]
-                    if child_id in materialized:
-                        reuse = reuse_cost[child_id]
-                        if reuse < child:
-                            child = reuse
-                    total += multiplier * child
+            for op_index, entry in enumerate(operations):
+                arity = len(entry)
+                if arity == 5:
+                    c1, m1, c2, m2, local_cost = entry
+                    total = local_cost + m1 * effective[c1] + m2 * effective[c2]
+                elif arity == 3:
+                    c1, m1, local_cost = entry
+                    total = local_cost + m1 * effective[c1]
+                else:
+                    children, total = entry
+                    for child_id, multiplier in children:
+                        total += multiplier * effective[child_id]
                 if total < best:
                     best = total
-                    best_op = self.op_nodes[node_id][op_index]
+                    best_op = op_nodes[node_id][op_index]
             choices[node_id] = best_op
         return choices
+
+    def effective_costs(
+        self, costs: CostTable, materialized: Set[int] = EMPTY_SET
+    ) -> List[float]:
+        """The effective child costs ``C(e) = min(cost(e), reusecost(e))`` for
+        materialized nodes and plain ``cost(e)`` otherwise, as a dense list."""
+        if isinstance(costs, CostTableView):
+            costs = costs._values
+        if isinstance(costs, list):
+            effective = list(costs)
+        else:
+            effective = [costs[node_id] for node_id in range(self.num_nodes)]
+        reuse_cost = self.reuse_cost
+        for node_id in materialized:
+            reuse = reuse_cost[node_id]
+            if reuse < effective[node_id]:
+                effective[node_id] = reuse
+        return effective
+
+
+class IncrementalCostState:
+    """The incremental cost update machinery of Figure 5, on dense tables.
+
+    Maintains ``cost(e)`` for every equivalence node under the current
+    materialized set, propagates the effect of materializing (or
+    un-materializing) a single node upwards through its ancestors in
+    topological order, and keeps the running total ``bestcost(Q, X)`` in sync
+    so that :meth:`total` is O(1) instead of O(|X|) per benefit probe.
+
+    All per-node state is held in flat id-indexed lists/bytearrays (see the
+    module docstring); ``state.costs`` remains a dict-compatible
+    :class:`CostTableView` for external readers.  The ``_effective`` table
+    memoizes ``min(cost(e), reusecost(e))`` for materialized nodes so the
+    propagation inner loop — the single hottest loop in the greedy optimizer
+    — performs one list read per child and no set-membership test.
+    """
+
+    __slots__ = (
+        "dag",
+        "engine",
+        "nodes_by_id",
+        "materialized",
+        "_costs",
+        "_effective",
+        "costs",
+        "_total",
+        "propagations",
+        "_pending",
+        "_mat_flags",
+        "_eps",
+    )
+
+    def __init__(self, dag: Dag, epsilon: float = _EPSILON) -> None:
+        self.dag = dag
+        self.engine = get_engine(dag)
+        #: Propagation cut-off.  The default prunes sub-jitter deltas (and is
+        #: what the Figure 10 propagation counters are calibrated against);
+        #: ``epsilon=0.0`` makes every toggle *exactly* equivalent to a
+        #: from-scratch ``compute_costs`` — a node is recomputed whenever any
+        #: input bit changed, and untouched nodes keep values computed from
+        #: bit-identical inputs — which is what incremental Volcano-RU needs
+        #: to stay byte-identical to its from-scratch reference.
+        self._eps = epsilon
+        #: id -> EquivalenceNode (ids are dense, so the engine's list serves).
+        self.nodes_by_id: Sequence[EquivalenceNode] = self.engine.nodes
+        self.materialized: Set[int] = set()
+        self._costs: List[float] = self.engine.compute_costs()
+        #: C(e): min(cost, reuse) for materialized nodes, cost otherwise.
+        self._effective: List[float] = list(self._costs)
+        #: Dict-compatible read view of ``_costs`` (kept for API parity with
+        #: the historical ``Dict[int, float]`` attribute).
+        self.costs = CostTableView(self._costs)
+        self._total: float = self._costs[self.engine.root_id]
+        #: Number of equivalence-node cost propagations (Figure 10, left).
+        self.propagations = 0
+        num_nodes = self.engine.num_nodes
+        #: Scratch flags for the propagation frontier (cleared by each pop).
+        self._pending = bytearray(num_nodes)
+        #: Byte-flag mirror of ``materialized`` for the inner loop.
+        self._mat_flags = bytearray(num_nodes)
+
+    def total(self) -> float:
+        """``bestcost(Q, X)`` for the current materialized set."""
+        return self._total
+
+    def snapshot_costs(self) -> List[float]:
+        """An independent dense copy of the current cost table."""
+        return list(self._costs)
+
+    # -- toggle / undo --------------------------------------------------------
+    def toggle(self, node: EquivalenceNode, add: bool) -> List[Tuple[int, float]]:
+        """Materialize (or un-materialize) *node* and propagate cost changes.
+
+        Returns the undo log: the list of ``(node_id, previous_cost)`` entries
+        that were overwritten, in propagation order.
+        """
+        return self.toggle_id(node.id, add)
+
+    def toggle_id(self, node_id: int, add: bool) -> List[Tuple[int, float]]:
+        """:meth:`toggle` by node id (the hot-path form)."""
+        engine = self.engine
+        costs = self._costs
+        effective = self._effective
+        materialized = self.materialized
+        mat_flags = self._mat_flags
+        pending = self._pending
+        mat_cost = engine.mat_cost
+        reuse_cost = engine.reuse_cost
+        op_specs = engine.op_specs
+        parent_ids = engine.parent_ids
+        topo_key = engine.topo_key
+        num_nodes = engine.num_nodes
+        root_id = engine.root_id
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        eps = self._eps
+
+        if add == (node_id in materialized):
+            # A redundant toggle would double-count the node's contribution in
+            # the incrementally maintained total; fail fast instead.
+            state = "already" if add else "not"
+            raise ValueError(f"node {node_id} is {state} materialized")
+        # The node's own cost never depends on its own membership (the DAG is
+        # acyclic), so its pre-propagation cost is its final cost contribution.
+        cost = costs[node_id]
+        if add:
+            materialized.add(node_id)
+            mat_flags[node_id] = 1
+            self._total += cost + mat_cost[node_id]
+            reuse = reuse_cost[node_id]
+            effective[node_id] = reuse if reuse < cost else cost
+        else:
+            materialized.discard(node_id)
+            mat_flags[node_id] = 0
+            self._total -= cost + mat_cost[node_id]
+            effective[node_id] = cost
+
+        undo: List[Tuple[int, float]] = []
+        heap: List[int] = [topo_key[node_id]]
+        pending[node_id] = 1
+        propagations = 0
+        while heap:
+            current_id = heappop(heap) % num_nodes
+            pending[current_id] = 0
+            old_cost = costs[current_id]
+            operations = op_specs[current_id]
+            if operations is not None:
+                new_cost = INFINITE_COST
+                for entry in operations:
+                    arity = len(entry)
+                    if arity == 5:
+                        c1, m1, c2, m2, local_cost = entry
+                        candidate = local_cost + m1 * effective[c1] + m2 * effective[c2]
+                    elif arity == 3:
+                        c1, m1, local_cost = entry
+                        candidate = local_cost + m1 * effective[c1]
+                    else:
+                        children, candidate = entry
+                        for child_id, multiplier in children:
+                            candidate += multiplier * effective[child_id]
+                    if candidate < new_cost:
+                        new_cost = candidate
+            else:
+                new_cost = old_cost
+            propagations += 1
+            delta = new_cost - old_cost
+            changed = delta > eps or delta < -eps
+            if changed:
+                undo.append((current_id, old_cost))
+                costs[current_id] = new_cost
+                if current_id == root_id:
+                    self._total += delta
+                if mat_flags[current_id]:
+                    self._total += delta
+                    reuse = reuse_cost[current_id]
+                    effective[current_id] = reuse if reuse < new_cost else new_cost
+                else:
+                    effective[current_id] = new_cost
+            if changed or current_id == node_id:
+                for parent_id in parent_ids[current_id]:
+                    if not pending[parent_id]:
+                        pending[parent_id] = 1
+                        heappush(heap, topo_key[parent_id])
+        self.propagations += propagations
+        return undo
+
+    def undo(self, node: EquivalenceNode, undo_log: List[Tuple[int, float]], added: bool) -> None:
+        """Revert a previous :meth:`toggle`."""
+        engine = self.engine
+        costs = self._costs
+        effective = self._effective
+        materialized = self.materialized
+        mat_flags = self._mat_flags
+        reuse_cost = engine.reuse_cost
+        root_id = engine.root_id
+        node_id = node.id
+        for changed_id, old_cost in reversed(undo_log):
+            delta = old_cost - costs[changed_id]
+            if changed_id == root_id:
+                self._total += delta
+            if mat_flags[changed_id]:
+                self._total += delta
+                reuse = reuse_cost[changed_id]
+                effective[changed_id] = reuse if reuse < old_cost else old_cost
+            else:
+                effective[changed_id] = old_cost
+            costs[changed_id] = old_cost
+        cost = costs[node_id]
+        contribution = cost + engine.mat_cost[node_id]
+        if added:
+            materialized.discard(node_id)
+            mat_flags[node_id] = 0
+            self._total -= contribution
+            effective[node_id] = cost
+        else:
+            materialized.add(node_id)
+            mat_flags[node_id] = 1
+            self._total += contribution
+            reuse = reuse_cost[node_id]
+            effective[node_id] = reuse if reuse < cost else cost
+
+    # -- benefit probes -------------------------------------------------------
+    def cost_with(self, node: EquivalenceNode) -> float:
+        """``bestcost(Q, X ∪ {node})`` without permanently changing the state."""
+        return self.cost_with_id(node.id)
+
+    def cost_with_id(self, node_id: int) -> float:
+        """:meth:`cost_with` by node id: one fused toggle + exact restore.
+
+        The restore writes the logged previous costs back verbatim and resets
+        the total to its saved value, so long probe sequences are drift-free
+        (no reversed floating-point arithmetic is involved at all).
+        """
+        previous_total = self._total
+        undo_log = self.toggle_id(node_id, add=True)
+        total = self._total
+        costs = self._costs
+        effective = self._effective
+        mat_flags = self._mat_flags
+        reuse_cost = self.engine.reuse_cost
+        for changed_id, old_cost in reversed(undo_log):
+            costs[changed_id] = old_cost
+            if mat_flags[changed_id]:
+                reuse = reuse_cost[changed_id]
+                effective[changed_id] = reuse if reuse < old_cost else old_cost
+            else:
+                effective[changed_id] = old_cost
+        self.materialized.discard(node_id)
+        mat_flags[node_id] = 0
+        effective[node_id] = costs[node_id]
+        self._total = previous_total
+        return total
+
+    def run_monotonic_heap(
+        self,
+        heap: List[Tuple[float, int]],
+        counters: Dict[str, int],
+        max_materializations: int,
+    ) -> Set[int]:
+        """The greedy monotonicity-heap loop (Section 4.3), fused.
+
+        *heap* holds ``(-upper_bound, node_id)`` entries.  Pops the top
+        candidate, probes its exact benefit against the current state, and
+        either materializes it (still on top), reinserts it with the fresh
+        value, or stops (no positive benefit).  The chain of probes between
+        two materializations runs against one fixed state — the batched form
+        of the benefit probe (see :meth:`probe_many`) — inside a single loop
+        with every hot table bound once: the probe's toggle/restore pair is
+        inlined rather than dispatched through
+        :meth:`toggle_id`/:meth:`cost_with_id`, which the profile showed cost
+        one call frame and ~15 attribute rebinds per probe.
+
+        The inlined propagation kernel is a verbatim twin of the one in
+        :meth:`toggle_id` (kept in sync by the engine-vs-reference and
+        differential test suites); decisions, results, and the Figure 10
+        counters are bit-for-bit those of the unfused loop.
+        """
+        engine = self.engine
+        costs = self._costs
+        effective = self._effective
+        mat_flags = self._mat_flags
+        pending = self._pending
+        mat_cost = engine.mat_cost
+        reuse_cost = engine.reuse_cost
+        op_specs = engine.op_specs
+        parent_ids = engine.parent_ids
+        topo_key = engine.topo_key
+        num_nodes = engine.num_nodes
+        root_id = engine.root_id
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        eps = self._eps
+
+        chosen: Set[int] = set()
+        current_total = self._total
+        total_propagations = 0
+        undo: List[Tuple[int, float]] = []
+        while heap and len(chosen) < max_materializations:
+            _negative_bound, node_id = heappop(heap)
+            if node_id in chosen:
+                continue
+            counters["benefit_recomputations"] += 1
+            counters["bestcost_calls"] += 1
+
+            # --- probe: toggle(node_id, add=True) -------------------------
+            # (twin of IncrementalCostState.toggle_id; keep in sync)
+            running_total = current_total
+            node_cost = costs[node_id]
+            mat_flags[node_id] = 1
+            running_total += node_cost + mat_cost[node_id]
+            reuse = reuse_cost[node_id]
+            effective[node_id] = reuse if reuse < node_cost else node_cost
+
+            undo.clear()
+            prop_heap: List[int] = [topo_key[node_id]]
+            pending[node_id] = 1
+            while prop_heap:
+                current_id = heappop(prop_heap) % num_nodes
+                pending[current_id] = 0
+                old_cost = costs[current_id]
+                operations = op_specs[current_id]
+                if operations is not None:
+                    new_cost = INFINITE_COST
+                    for entry in operations:
+                        arity = len(entry)
+                        if arity == 5:
+                            c1, m1, c2, m2, local_cost = entry
+                            candidate = (
+                                local_cost + m1 * effective[c1] + m2 * effective[c2]
+                            )
+                        elif arity == 3:
+                            c1, m1, local_cost = entry
+                            candidate = local_cost + m1 * effective[c1]
+                        else:
+                            children, candidate = entry
+                            for child_id, multiplier in children:
+                                candidate += multiplier * effective[child_id]
+                        if candidate < new_cost:
+                            new_cost = candidate
+                else:
+                    new_cost = old_cost
+                total_propagations += 1
+                delta = new_cost - old_cost
+                changed = delta > eps or delta < -eps
+                if changed:
+                    undo.append((current_id, old_cost))
+                    costs[current_id] = new_cost
+                    if current_id == root_id:
+                        running_total += delta
+                    if mat_flags[current_id]:
+                        running_total += delta
+                        reuse = reuse_cost[current_id]
+                        effective[current_id] = reuse if reuse < new_cost else new_cost
+                    else:
+                        effective[current_id] = new_cost
+                if changed or current_id == node_id:
+                    for parent_id in parent_ids[current_id]:
+                        if not pending[parent_id]:
+                            pending[parent_id] = 1
+                            heappush(prop_heap, topo_key[parent_id])
+
+            benefit = current_total - running_total
+
+            # --- restore: exact write-back of the logged costs -----------
+            for changed_id, old_cost in reversed(undo):
+                costs[changed_id] = old_cost
+                if mat_flags[changed_id]:
+                    reuse = reuse_cost[changed_id]
+                    effective[changed_id] = reuse if reuse < old_cost else old_cost
+                else:
+                    effective[changed_id] = old_cost
+            mat_flags[node_id] = 0
+            effective[node_id] = costs[node_id]
+
+            # --- heap decision (identical to the reference loop) ---------
+            next_bound = -heap[0][0] if heap else float("-inf")
+            if heap and benefit < next_bound - _EPSILON:
+                # Not necessarily the best any more: reinsert fresh.
+                heappush(heap, (-benefit, node_id))
+                continue
+            if benefit <= _EPSILON:
+                break
+            # Commit: the probe was fully restored above, so re-toggle for
+            # real (counted again, exactly like the reference
+            # implementation's cost_with + toggle pair).
+            self.toggle_id(node_id, add=True)
+            chosen.add(node_id)
+            current_total = self._total
+        self.propagations += total_propagations
+        return chosen
+
+    def probe_many(self, node_ids: Sequence[int]) -> List[float]:
+        """Batched benefit probes: ``bestcost(Q, X ∪ {x})`` for each ``x``.
+
+        All probes are evaluated against the *same* current state, which is
+        exactly the situation of the greedy loops: between two
+        materializations the state is fixed and every candidate's benefit is
+        defined against it, so the probes are order-independent and can be
+        requested as one batch.  Candidates with disjoint ancestor cones (per
+        ``CostEngine.parent_ids``) touch disjoint cost entries *below the
+        root*, but any candidate with a nonzero benefit perturbs the root
+        summation, so the toggles are applied one at a time (never stacked)
+        to keep each probe's float result bit-identical to the sequential
+        reference.  Each probe is one exact-restore :meth:`cost_with_id`
+        pass; the fully fused variant (hot tables bound once for a whole
+        probe chain) is :meth:`run_monotonic_heap`, which is what the
+        default greedy configuration uses.
+        """
+        return [self.cost_with_id(node_id) for node_id in node_ids]
 
 
 def get_engine(dag: Dag) -> CostEngine:

@@ -26,13 +26,19 @@ reproduces in full — are the paper's three implementation optimizations:
    multipliers and transitive sharing and is not an upper bound on
    correlated workloads, so the heap could terminate early.
 
-The hot path runs on the flat-array DAG snapshot of
-:class:`~repro.optimizer.engine.CostEngine` (see its module docstring for the
-measured Figure 9/10 before/after numbers).  Each optimization can be disabled
-independently (:class:`GreedyOptions`), which is how the Section 6.3 ablation
-benchmarks are produced.  The counters reported in Figure 10 — cost
+The incremental cost state itself
+(:class:`~repro.optimizer.engine.IncrementalCostState`, re-exported here for
+backwards compatibility) lives in :mod:`repro.optimizer.engine` on flat
+id-indexed arrays; benefit probes go through its fused
+``cost_with_id``/``probe_many`` kernels.  The full-recompute ablation loop
+batches the benefit probes of all remaining candidates per round through
+``probe_many`` — between two materializations the state is fixed, so the
+probes are independent and order-insensitive.  Each optimization can be
+disabled independently (:class:`GreedyOptions`), which is how the Section 6.3
+ablation benchmarks are produced.  The counters reported in Figure 10 — cost
 propagations across equivalence nodes and benefit recomputations — are
-collected in the returned :class:`~repro.optimizer.report.OptimizationResult`.
+collected in the returned :class:`~repro.optimizer.report.OptimizationResult`
+and are invariant under the dense-state rewrite.
 """
 
 from __future__ import annotations
@@ -45,11 +51,11 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.dag.nodes import Dag, EquivalenceNode
 from repro.dag.sharability import sharing_degrees
 from repro.optimizer.costing import best_operations, compute_node_costs, total_cost
-from repro.optimizer.engine import INFINITE_COST, get_engine
+from repro.optimizer.engine import _EPSILON, IncrementalCostState
 from repro.optimizer.plans import ConsolidatedPlan
 from repro.optimizer.report import OptimizationResult
 
-_EPSILON = 1e-9
+__all__ = ["GreedyOptions", "IncrementalCostState", "optimize_greedy"]
 
 
 @dataclass(frozen=True)
@@ -61,138 +67,6 @@ class GreedyOptions:
     use_incremental: bool = True
     #: Safety bound on the number of materialized nodes (never hit in practice).
     max_materializations: int = 10_000
-
-
-class IncrementalCostState:
-    """The incremental cost update machinery of Figure 5.
-
-    Maintains ``cost(e)`` for every equivalence node under the current
-    materialized set, propagates the effect of materializing (or
-    un-materializing) a single node upwards through its ancestors in
-    topological order, and keeps the running total ``bestcost(Q, X)`` in sync
-    so that :meth:`total` is O(1) instead of O(|X|) per benefit probe.
-    """
-
-    def __init__(self, dag: Dag) -> None:
-        self.dag = dag
-        self.engine = get_engine(dag)
-        #: id -> EquivalenceNode (ids are dense, so the engine's list serves).
-        self.nodes_by_id: Sequence[EquivalenceNode] = self.engine.nodes
-        self.materialized: Set[int] = set()
-        self.costs: Dict[int, float] = dict(enumerate(self.engine.compute_costs()))
-        self._total: float = self.costs[self.engine.root_id]
-        #: Number of equivalence-node cost propagations (Figure 10, left).
-        self.propagations = 0
-
-    def total(self) -> float:
-        """``bestcost(Q, X)`` for the current materialized set."""
-        return self._total
-
-    def toggle(self, node: EquivalenceNode, add: bool) -> List[Tuple[int, float]]:
-        """Materialize (or un-materialize) *node* and propagate cost changes.
-
-        Returns the undo log: the list of ``(node_id, previous_cost)`` entries
-        that were overwritten, in propagation order.
-        """
-        engine = self.engine
-        costs = self.costs
-        materialized = self.materialized
-        mat_cost = engine.mat_cost
-        reuse_cost = engine.reuse_cost
-        op_table = engine.op_table
-        is_base = engine.is_base
-        parent_ids = engine.parent_ids
-        topo_number = engine.topo_number
-        root_id = engine.root_id
-
-        node_id = node.id
-        if add == (node_id in materialized):
-            # A redundant toggle would double-count the node's contribution in
-            # the incrementally maintained total; fail fast instead.
-            state = "already" if add else "not"
-            raise ValueError(f"node {node_id} is {state} materialized")
-        # The node's own cost never depends on its own membership (the DAG is
-        # acyclic), so its pre-propagation cost is its final cost contribution.
-        if add:
-            materialized.add(node_id)
-            self._total += costs[node_id] + mat_cost[node_id]
-        else:
-            materialized.discard(node_id)
-            self._total -= costs[node_id] + mat_cost[node_id]
-
-        undo: List[Tuple[int, float]] = []
-        heap: List[Tuple[int, int]] = [(topo_number[node_id], node_id)]
-        pending = {node_id}
-        propagations = 0
-        while heap:
-            _, current_id = heapq.heappop(heap)
-            pending.discard(current_id)
-            old_cost = costs[current_id]
-            operations = op_table[current_id]
-            if operations and not is_base[current_id]:
-                new_cost = INFINITE_COST
-                for local_cost, children in operations:
-                    candidate = local_cost
-                    for child_id, multiplier in children:
-                        child = costs[child_id]
-                        if child_id in materialized:
-                            reuse = reuse_cost[child_id]
-                            if reuse < child:
-                                child = reuse
-                        candidate += multiplier * child
-                    if candidate < new_cost:
-                        new_cost = candidate
-            else:
-                new_cost = old_cost
-            propagations += 1
-            delta = new_cost - old_cost
-            changed = delta > _EPSILON or delta < -_EPSILON
-            if changed:
-                undo.append((current_id, old_cost))
-                costs[current_id] = new_cost
-                if current_id == root_id:
-                    self._total += delta
-                if current_id in materialized:
-                    self._total += delta
-            if changed or current_id == node_id:
-                for parent_id in parent_ids[current_id]:
-                    if parent_id not in pending:
-                        pending.add(parent_id)
-                        heapq.heappush(heap, (topo_number[parent_id], parent_id))
-        self.propagations += propagations
-        return undo
-
-    def undo(self, node: EquivalenceNode, undo_log: List[Tuple[int, float]], added: bool) -> None:
-        """Revert a previous :meth:`toggle`."""
-        engine = self.engine
-        costs = self.costs
-        materialized = self.materialized
-        root_id = engine.root_id
-        for node_id, old_cost in reversed(undo_log):
-            delta = old_cost - costs[node_id]
-            if node_id == root_id:
-                self._total += delta
-            if node_id in materialized:
-                self._total += delta
-            costs[node_id] = old_cost
-        contribution = costs[node.id] + engine.mat_cost[node.id]
-        if added:
-            materialized.discard(node.id)
-            self._total -= contribution
-        else:
-            materialized.add(node.id)
-            self._total += contribution
-
-    def cost_with(self, node: EquivalenceNode) -> float:
-        """``bestcost(Q, X ∪ {node})`` without permanently changing the state."""
-        previous_total = self._total
-        undo_log = self.toggle(node, add=True)
-        total = self._total
-        self.undo(node, undo_log, added=True)
-        # The reversed arithmetic restores the total only up to floating-point
-        # associativity; restore the exact value to keep long runs drift-free.
-        self._total = previous_total
-        return total
 
 
 def _candidate_nodes(
@@ -232,7 +106,7 @@ def optimize_greedy(dag: Dag, options: Optional[GreedyOptions] = None) -> Optimi
     }
 
     state = IncrementalCostState(dag)
-    baseline_costs = dict(state.costs)
+    baseline_costs = state.snapshot_costs()
     candidates, degrees = _candidate_nodes(dag, options)
     counters["candidates"] = len(candidates)
 
@@ -286,7 +160,7 @@ def optimize_greedy(dag: Dag, options: Optional[GreedyOptions] = None) -> Optimi
 def _benefit(
     dag: Dag,
     state: IncrementalCostState,
-    node: EquivalenceNode,
+    node_id: int,
     current_total: float,
     options: GreedyOptions,
     counters: Dict[str, int],
@@ -294,9 +168,9 @@ def _benefit(
     counters["benefit_recomputations"] += 1
     counters["bestcost_calls"] += 1
     if options.use_incremental:
-        return current_total - state.cost_with(node)
+        return current_total - state.cost_with_id(node_id)
     trial = set(state.materialized)
-    trial.add(node.id)
+    trial.add(node_id)
     costs = compute_node_costs(dag, trial)
     state.propagations += len(costs)
     return current_total - total_cost(dag, costs, trial)
@@ -306,7 +180,7 @@ def _greedy_monotonic(
     dag: Dag,
     state: IncrementalCostState,
     candidates: Sequence[EquivalenceNode],
-    baseline_costs: Dict[int, float],
+    baseline_costs: Sequence[float],
     degrees: Optional[Dict[int, float]],
     options: GreedyOptions,
     counters: Dict[str, int],
@@ -328,14 +202,19 @@ def _greedy_monotonic(
         upper_bound = baseline_costs[node.id] * max(degree, 1.0)
         heapq.heappush(heap, (-upper_bound, node.id))
 
+    if options.use_incremental:
+        # The fused probe-chain loop on the dense state (see
+        # IncrementalCostState.run_monotonic_heap): bit-identical decisions
+        # and counters, one call frame for the whole loop.
+        return state.run_monotonic_heap(heap, counters, options.max_materializations)
+
     materialized: Set[int] = set()
     current_total = state.total()
     while heap and len(materialized) < options.max_materializations:
         negative_bound, node_id = heapq.heappop(heap)
         if node_id in materialized:
             continue
-        node = state.nodes_by_id[node_id]
-        benefit = _benefit(dag, state, node, current_total, options, counters)
+        benefit = _benefit(dag, state, node_id, current_total, options, counters)
         next_bound = -heap[0][0] if heap else float("-inf")
         if heap and benefit < next_bound - _EPSILON:
             # Not necessarily the best any more: reinsert with the fresh value.
@@ -343,7 +222,7 @@ def _greedy_monotonic(
             continue
         if benefit <= _EPSILON:
             break
-        state.toggle(node, add=True)
+        state.toggle_id(node_id, add=True)
         materialized.add(node_id)
         current_total = state.total()
     return materialized
@@ -357,22 +236,40 @@ def _greedy_full_recompute(
     counters: Dict[str, int],
 ) -> Set[int]:
     """Greedy loop without the monotonicity heuristic: every remaining
-    candidate's benefit is recomputed in every iteration (Figure 4, literally)."""
+    candidate's benefit is recomputed in every iteration (Figure 4, literally).
+
+    With the incremental cost state enabled the per-round probes go through
+    :meth:`~repro.optimizer.engine.IncrementalCostState.probe_many` as one
+    batch: within a round the state is fixed, so the candidates' benefits
+    are mutually independent and the probe order is immaterial (each probe
+    is still an individual exact-restore toggle — see the method's
+    docstring for why independent probes cannot share stacked toggles).
+    """
     materialized: Set[int] = set()
-    remaining = {node.id: node for node in candidates}
+    remaining: List[int] = [node.id for node in candidates]
     current_total = state.total()
     while remaining and len(materialized) < options.max_materializations:
-        best_node = None
+        best_node_id = None
         best_benefit = 0.0
-        for node in remaining.values():
-            benefit = _benefit(dag, state, node, current_total, options, counters)
-            if benefit > best_benefit + _EPSILON:
-                best_benefit = benefit
-                best_node = node
-        if best_node is None:
+        if options.use_incremental:
+            counters["benefit_recomputations"] += len(remaining)
+            counters["bestcost_calls"] += len(remaining)
+            totals = state.probe_many(remaining)
+            for node_id, trial_total in zip(remaining, totals):
+                benefit = current_total - trial_total
+                if benefit > best_benefit + _EPSILON:
+                    best_benefit = benefit
+                    best_node_id = node_id
+        else:
+            for node_id in remaining:
+                benefit = _benefit(dag, state, node_id, current_total, options, counters)
+                if benefit > best_benefit + _EPSILON:
+                    best_benefit = benefit
+                    best_node_id = node_id
+        if best_node_id is None:
             break
-        state.toggle(best_node, add=True)
-        materialized.add(best_node.id)
-        del remaining[best_node.id]
+        state.toggle_id(best_node_id, add=True)
+        materialized.add(best_node_id)
+        remaining.remove(best_node_id)
         current_total = state.total()
     return materialized

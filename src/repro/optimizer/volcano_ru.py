@@ -12,10 +12,30 @@ materialization decisions.  Because the result depends on the query order,
 the algorithm is run on the given order and on its reverse, and the cheaper
 outcome is returned — exactly the variant evaluated in the paper.
 
-The per-query re-costing (one ``compute_node_costs``/``best_operations``
-round per query per order) runs on the shared
-:class:`~repro.optimizer.engine.CostEngine` snapshot of the DAG, as does the
-final Volcano-SH pass, so no pass re-sorts the DAG or rebuilds id maps.
+**Incremental per-query costing.**  The reference formulation re-runs a full
+``compute_node_costs``/``best_operations`` round per query per order —
+O(queries × DAG) even though each query only adds a handful of reuse
+candidates.  :func:`_run_order` instead keeps one
+:class:`~repro.optimizer.engine.IncrementalCostState` per order on the shared
+:class:`~repro.optimizer.engine.CostEngine` snapshot (both orders reuse the
+same snapshot):
+
+* the per-query cost table is simply the state's dense cost array, already
+  maintained under the reuse candidates registered so far;
+* the argmin operation choices are computed lazily, only for the nodes
+  actually reachable in the current query's best plan, during the plan walk
+  itself (same strict ``<`` / first-wins tie-breaking as
+  ``CostEngine.best_operations``);
+* after the walk, the query's newly registered reuse candidates are toggled
+  into the state, which propagates cost changes to their ancestors only.
+
+Within one query the reference adds candidates to ``N`` mid-scan but costs
+and choices were computed before the scan, so deferring the toggles to the
+end of the query is equivalent; across queries the toggled state reproduces
+``compute_node_costs(dag, N)`` exactly (the incremental propagation
+recomputes the same minima from the same inputs).  The from-scratch
+formulation is kept as :func:`_run_order_reference` and the differential test
+suite asserts exact cost equality between the two on randomized workloads.
 """
 
 from __future__ import annotations
@@ -26,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.dag.nodes import Dag, OperationNode
 from repro.optimizer.costing import best_operations, compute_node_costs
+from repro.optimizer.engine import INFINITE_COST, IncrementalCostState, get_engine
 from repro.optimizer.plans import ConsolidatedPlan
 from repro.optimizer.report import OptimizationResult
 from repro.optimizer.volcano_sh import volcano_sh_pass
@@ -34,7 +55,97 @@ from repro.optimizer.volcano_sh import volcano_sh_pass
 def _run_order(
     dag: Dag, order: Sequence[int]
 ) -> Tuple[float, Set[int], Dict[int, OperationNode]]:
-    """Run one pass of Volcano-RU over the queries in the given order."""
+    """Run one pass of Volcano-RU over the queries in the given order,
+    maintaining the per-query cost table incrementally."""
+    engine = get_engine(dag)
+    # epsilon=0.0: every nonzero delta propagates, so the state's cost table
+    # stays *bit-identical* to ``compute_node_costs(dag, N)`` after each
+    # toggle — near-tie argmin choices and the worth-materializing threshold
+    # then match the from-scratch reference exactly.
+    state = IncrementalCostState(dag, epsilon=0.0)
+    costs = state._costs
+    effective = state._effective
+    op_table = engine.op_table
+    op_specs = engine.op_specs
+    op_nodes = engine.op_nodes
+    is_base = engine.is_base
+    mat_cost = engine.mat_cost
+    reuse_cost = engine.reuse_cost
+
+    reuse_candidates = state.materialized
+    use_counts: Dict[int, int] = defaultdict(int)
+    combined_choices: Dict[int, OperationNode] = {}
+
+    for index in order:
+        root = dag.query_roots[index]
+        # Walk the query's best plan top-down, choosing the argmin operation
+        # per node on the fly from the incrementally maintained cost table
+        # (``effective`` already folds in reuse of the registered candidates).
+        new_candidates: List[int] = []
+        stack = [root.id]
+        seen: Set[int] = set()
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            if is_base[node_id]:
+                continue
+            operations = op_specs[node_id]
+            if operations is None:
+                continue
+            best = INFINITE_COST
+            best_index = 0
+            for op_index, entry in enumerate(operations):
+                arity = len(entry)
+                if arity == 5:
+                    c1, m1, c2, m2, local_cost = entry
+                    candidate = local_cost + m1 * effective[c1] + m2 * effective[c2]
+                elif arity == 3:
+                    c1, m1, local_cost = entry
+                    candidate = local_cost + m1 * effective[c1]
+                else:
+                    children, candidate = entry
+                    for child_id, multiplier in children:
+                        candidate += multiplier * effective[child_id]
+                if candidate < best:
+                    best = candidate
+                    best_index = op_index
+            operation = op_nodes[node_id][best_index]
+            if node_id not in combined_choices:
+                combined_choices[node_id] = operation
+            use_counts[node_id] += 1
+            count = use_counts[node_id]
+            cost = costs[node_id]
+            # Worth materializing if it is used just once more?
+            if node_id not in reuse_candidates and (
+                cost + mat_cost[node_id] + count * reuse_cost[node_id] < (count + 1) * cost
+            ):
+                new_candidates.append(node_id)
+            for child_id, _multiplier in op_table[node_id][best_index][1]:
+                stack.append(child_id)
+        # Mid-scan registrations cannot influence the scan that made them
+        # (costs/choices predate the scan), so toggle them in one batch now.
+        for node_id in new_candidates:
+            state.toggle_id(node_id, add=True)
+
+    root_node = dag.root
+    combined_choices[root_node.id] = root_node.operations[0]
+    combined = ConsolidatedPlan(dag, combined_choices, set())
+    materialized, choices, total = volcano_sh_pass(dag, combined)
+    return total, materialized, choices
+
+
+def _run_order_reference(
+    dag: Dag, order: Sequence[int]
+) -> Tuple[float, Set[int], Dict[int, OperationNode]]:
+    """The from-scratch reference formulation of one Volcano-RU pass.
+
+    Re-costs the whole DAG per query (one ``compute_node_costs`` /
+    ``best_operations`` round each).  Kept as the correctness oracle for the
+    incremental :func:`_run_order`; the differential suite asserts exact
+    agreement between the two.
+    """
     reuse_candidates: Set[int] = set()
     use_counts: Dict[int, int] = defaultdict(int)
     combined_choices: Dict[int, OperationNode] = {}

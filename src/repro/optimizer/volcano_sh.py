@@ -23,11 +23,11 @@ Key elements reproduced from the paper:
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.dag.nodes import Dag, EquivalenceNode, OperationNode
 from repro.optimizer.costing import INFINITE_COST, compute_node_costs
-from repro.optimizer.engine import get_engine
+from repro.optimizer.engine import CostTableView, get_engine
 from repro.optimizer.plans import ConsolidatedPlan
 from repro.optimizer.report import OptimizationResult
 from repro.optimizer.volcano import consolidated_best_plan
@@ -37,7 +37,7 @@ def plan_node_costs(
     dag: Dag,
     choices: Dict[int, OperationNode],
     materialized: Set[int],
-) -> Dict[int, float]:
+) -> Mapping[int, float]:
     """Cost of every equivalence node when computed via its *chosen* operation.
 
     Unlike :func:`repro.optimizer.costing.compute_node_costs` this does not
@@ -45,31 +45,57 @@ def plan_node_costs(
     Nodes without a choice (not part of the plan) fall back to the minimum
     over their operations so that subsumption children swapped into the plan
     still get a cost.  The pass runs over the shared
-    :class:`~repro.optimizer.engine.CostEngine` snapshot (pre-sorted topo
-    order, per-node reuse costs) instead of re-sorting the DAG per call.
+    :class:`~repro.optimizer.engine.CostEngine` snapshot — dense cost and
+    effective-cost lists over the flat operation entries, with one
+    materialization-membership test per node instead of one per child read —
+    and returns a dict-compatible view of the dense table.
     """
     engine = get_engine(dag)
     reuse_cost = engine.reuse_cost
-    nodes = engine.nodes
-    costs: Dict[int, float] = {}
+    is_base = engine.is_base
+    op_specs = engine.op_specs
+    op_entries = engine.op_entry_by_op_id
+    costs: List[float] = [0.0] * engine.num_nodes
+    # C(e) = min(cost(e), reusecost(e)) for materialized nodes.
+    effective: List[float] = costs if not materialized else [0.0] * engine.num_nodes
+    distinct = effective is not costs
     for node_id in engine.topo_order:
-        node = nodes[node_id]
-        if node.is_base:
-            costs[node_id] = 0.0
-            continue
-        operation = choices.get(node_id)
-        candidates = [operation] if operation is not None else list(node.operations)
-        best = INFINITE_COST
-        for candidate in candidates:
-            cost = candidate.local_cost
-            for child, multiplier in zip(candidate.children, candidate.child_multipliers):
-                child_cost = costs[child.id]
-                if child.id in materialized:
-                    child_cost = min(child_cost, reuse_cost[child.id])
-                cost += multiplier * child_cost
-            best = min(best, cost)
-        costs[node_id] = best
-    return costs
+        if is_base[node_id]:
+            cost = 0.0
+        else:
+            operation = choices.get(node_id)
+            if operation is not None:
+                cost, children = op_entries[operation.id]
+                for child_id, multiplier in children:
+                    cost += multiplier * effective[child_id]
+            else:
+                operations = op_specs[node_id]
+                cost = INFINITE_COST
+                if operations is not None:
+                    for entry in operations:
+                        arity = len(entry)
+                        if arity == 5:
+                            c1, m1, c2, m2, local_cost = entry
+                            candidate = (
+                                local_cost + m1 * effective[c1] + m2 * effective[c2]
+                            )
+                        elif arity == 3:
+                            c1, m1, local_cost = entry
+                            candidate = local_cost + m1 * effective[c1]
+                        else:
+                            children, candidate = entry
+                            for child_id, multiplier in children:
+                                candidate += multiplier * effective[child_id]
+                        if candidate < cost:
+                            cost = candidate
+            costs[node_id] = cost
+        if distinct:
+            if node_id in materialized:
+                reuse = reuse_cost[node_id]
+                effective[node_id] = reuse if reuse < cost else cost
+            else:
+                effective[node_id] = cost
+    return CostTableView(costs)
 
 
 def _subsumption_alternative(

@@ -1,0 +1,137 @@
+"""Seeded random AND-OR DAG workload generator for property/differential tests.
+
+The optimizer package keeps growing pairs of equivalent-by-construction code
+paths — the array engine vs. the reference object-graph recurrence, the
+incremental cost state vs. from-scratch recomputation, incremental Volcano-RU
+vs. its per-query re-costing reference.  The tier-1 workloads exercise them on
+a handful of realistic DAGs; :func:`random_dag` generates *thousands* of small
+adversarial ones: AND/OR DAGs with shared sub-expressions (children are drawn
+from a common pool, so multiple parents share nodes), nested-query use
+multipliers > 1, and randomized materialization/reuse-cost annotations that
+make sharing profitable for some nodes and a trap for others.
+
+Generation is fully deterministic in the seed: node keys are tuples, children
+are drawn with ``random.Random(seed)``, and no hash-order iteration is
+involved, so a failing seed reproduces exactly.
+
+The DAGs are structurally faithful to the builder's output: dense equivalence
+node ids, a pseudo-root whose single operation (use multiplier 1) combines
+every query root, every non-base node has at least one operation, and
+``validate()`` passes.  Multi-query structure arises naturally: every
+parentless derived node becomes a query root.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.cost.estimation import LogicalProperties
+from repro.dag.nodes import Dag, EquivalenceNode, Operator
+
+
+class _GenOp(Operator):
+    """Distinct operator instance per operation (no accidental signature
+    dedup in ``Dag.add_operation``)."""
+
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+        self.name = tag
+
+    def describe(self) -> str:
+        return self.tag
+
+
+def random_dag(
+    seed: int,
+    min_base: int = 2,
+    max_base: int = 4,
+    min_derived: int = 3,
+    max_derived: int = 14,
+    max_operations_per_node: int = 3,
+) -> Dag:
+    """A small random AND-OR DAG, deterministic in *seed*.
+
+    Roughly mirrors the shape of the builder's output on tiny batches:
+    2-4 base tables, 3-14 derived equivalence nodes with 1-3 alternative
+    operations each, operation children drawn from every node built so far
+    (which is what creates shared sub-expressions), occasional use
+    multipliers > 1 (nested-query invocations), and materialization/reuse
+    costs drawn so that materializing is profitable for some nodes only.
+    """
+    rng = random.Random(seed)
+    dag = Dag()
+
+    bases: List[EquivalenceNode] = []
+    for index in range(rng.randint(min_base, max_base)):
+        node = dag.equivalence(
+            ("base", index),
+            LogicalProperties(rows=float(rng.choice([100, 1_000, 10_000]))),
+            label=f"t{index}",
+            is_base=True,
+            base_table=f"t{index}",
+        )
+        bases.append(node)
+
+    pool: List[EquivalenceNode] = list(bases)
+    derived: List[EquivalenceNode] = []
+    for index in range(rng.randint(min_derived, max_derived)):
+        node = dag.equivalence(
+            ("derived", index),
+            LogicalProperties(rows=float(rng.randint(1, 5_000))),
+            label=f"d{index}",
+        )
+        for op_index in range(rng.randint(1, max_operations_per_node)):
+            arity = min(rng.choice([1, 2, 2, 2, 3]), len(pool))
+            children = rng.sample(pool, arity)
+            multipliers = tuple(
+                float(rng.choice([1.0] * 6 + [2.0, 5.0, 20.0])) for _ in children
+            )
+            local_cost = float(rng.randint(1, 200))
+            dag.add_operation(
+                node, _GenOp(f"op{index}.{op_index}"), children, local_cost, multipliers
+            )
+        # Materialization is a genuine trade-off: reuse is usually (not
+        # always) cheaper than the node's local costs, and the
+        # materialization cost is sometimes prohibitive.
+        node.mat_cost = float(rng.randint(0, 60))
+        node.reuse_cost = float(rng.randint(0, 40))
+        pool.append(node)
+        derived.append(node)
+
+    query_roots = [node for node in derived if not node.parents]
+    if not query_roots:  # pragma: no cover - rng.sample makes this unreachable
+        query_roots = [derived[-1]]
+    root = dag.equivalence(
+        ("root",), LogicalProperties(rows=1.0), label="root"
+    )
+    dag.add_operation(
+        root,
+        _GenOp("no-op"),
+        query_roots,
+        0.0,
+        tuple(1.0 for _ in query_roots),
+    )
+    dag.set_root(root, query_roots)
+    dag.validate()
+    return dag
+
+
+def random_materialization_sets(
+    dag: Dag, rng: random.Random, count: int = 4
+) -> List[set]:
+    """A few random subsets of the non-base nodes, for cost-table probes."""
+    candidates = [
+        node.id
+        for node in dag.equivalence_nodes()
+        if not node.is_base and node is not dag.root
+    ]
+    sets = [set()]
+    for _ in range(count - 1):
+        if not candidates:
+            break
+        size = rng.randint(1, len(candidates))
+        sets.append(set(rng.sample(candidates, size)))
+    return sets

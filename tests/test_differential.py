@@ -1,0 +1,263 @@
+"""Randomized cross-algorithm differential oracle suite.
+
+Every optimizer in this package has at least one equivalent-by-construction
+twin: the array engine vs. the reference object-graph recurrence, the dense
+incremental cost state vs. from-scratch recomputation, incremental Volcano-RU
+vs. its per-query re-costing reference, the dense (NumPy) sharability sweep
+vs. the sparse dict sweep.  This suite pits them against each other on ~200
+seeded random AND-OR DAGs (see :mod:`tests.generators`) and additionally
+checks the qualitative algorithm ordering of the paper:
+
+* incremental Volcano-RU returns *exactly* (same total, same materialized
+  set, same operation choices) what the from-scratch reference returns, on
+  every query order;
+* ``exhaustive ≤ greedy ≤ Volcano-SH ≤ Volcano`` (costs), with the handful
+  of seeds where the greedy heuristic is genuinely suboptimal pinned as
+  known — a behavioral change in either direction fails the suite;
+* the engine cost kernels equal the reference recurrence on random
+  materialization sets, and the dense incremental state tracks from-scratch
+  costs through random toggle/undo/probe sequences.
+
+All seeds are fixed, so the suite is deterministic; a failure message always
+names the seed that reproduces it.
+"""
+
+import random
+
+import pytest
+
+from repro.dag.sharability import (
+    _batched_degrees_dense,
+    _batched_degrees_sparse,
+    _np,
+    sharable_nodes,
+)
+from repro.optimizer.costing import (
+    compute_node_costs,
+    compute_node_costs_reference,
+    total_cost_reference,
+)
+from repro.optimizer.engine import IncrementalCostState, get_engine
+from repro.optimizer.exhaustive import optimize_exhaustive
+from repro.optimizer.greedy import GreedyOptions, optimize_greedy
+from repro.optimizer.volcano import optimize_volcano
+from repro.optimizer.volcano_ru import _run_order, _run_order_reference
+from repro.optimizer.volcano_sh import optimize_volcano_sh
+from tests.generators import random_dag, random_materialization_sets
+
+SEEDS = range(200)
+
+#: Seeds (of SEEDS) where the greedy heuristic provably misses the exhaustive
+#: optimum: benefits there are non-monotone (two nodes are only jointly
+#: profitable, or materializing one unlocks a better candidate later), which
+#: single-step greedy cannot see.  Pinned so a quality *regression* on any
+#: other seed — and an unreported *improvement* here — both fail loudly.
+GREEDY_SUBOPTIMAL_SEEDS = {25, 78, 158, 175}
+
+#: The one generated DAG where that same non-monotonicity makes greedy lose
+#: to Volcano-SH (which inherits a jointly-profitable set from the Volcano
+#: plan structure instead of building it node by node).
+GREEDY_ABOVE_SH_SEEDS = {78}
+
+
+def _orders(dag):
+    forward = list(range(len(dag.query_roots)))
+    orders = [forward]
+    if len(forward) > 1:
+        orders.append(list(reversed(forward)))
+    return orders
+
+
+class TestIncrementalVolcanoRUExact:
+    def test_matches_from_scratch_reference_on_every_order(self):
+        """The tentpole differential: the incremental per-query costing must
+        reproduce the from-scratch pass *exactly* — total, materialized set,
+        and per-node operation choices, not just the cost."""
+        for seed in SEEDS:
+            dag = random_dag(seed)
+            for order in _orders(dag):
+                incremental = _run_order(dag, order)
+                reference = _run_order_reference(dag, order)
+                assert incremental[0] == reference[0], (seed, order)
+                assert incremental[1] == reference[1], (seed, order)
+                assert incremental[2] == reference[2], (seed, order)
+
+
+class TestAlgorithmOrdering:
+    def test_greedy_vs_sh_vs_volcano(self):
+        """Paper ordering: Volcano-SH never loses to Volcano (it falls back),
+        greedy never loses to Volcano (each materialization step strictly
+        lowers bestcost), and greedy beats Volcano-SH except on the pinned
+        non-monotone seeds."""
+        for seed in SEEDS:
+            dag = random_dag(seed)
+            volcano = optimize_volcano(dag).cost
+            sh = optimize_volcano_sh(dag).cost
+            greedy = optimize_greedy(dag).cost
+            assert sh <= volcano + 1e-9, seed
+            assert greedy <= volcano + 1e-9, seed
+            if seed in GREEDY_ABOVE_SH_SEEDS:
+                assert greedy > sh + 1e-9, (
+                    f"seed {seed} no longer exhibits greedy > Volcano-SH; "
+                    "update GREEDY_ABOVE_SH_SEEDS"
+                )
+            else:
+                assert greedy <= sh + 1e-9, (seed, greedy, sh)
+
+    def test_greedy_vs_exhaustive_optimum(self):
+        """Greedy equals the exhaustive optimum over the sharable candidates
+        on every generated DAG except the pinned non-monotone ones (where it
+        must still never beat the optimum)."""
+        for seed in SEEDS:
+            dag = random_dag(seed)
+            candidates = sharable_nodes(dag)
+            if len(candidates) > 14:  # pragma: no cover - generator keeps DAGs small
+                continue
+            exhaustive = optimize_exhaustive(dag, candidates).cost
+            greedy = optimize_greedy(dag).cost
+            assert exhaustive <= greedy + 1e-9, seed
+            if seed in GREEDY_SUBOPTIMAL_SEEDS:
+                assert greedy > exhaustive + 1e-9, (
+                    f"seed {seed} no longer exhibits a greedy/exhaustive gap; "
+                    "update GREEDY_SUBOPTIMAL_SEEDS"
+                )
+            else:
+                assert greedy == pytest.approx(exhaustive, abs=1e-9), seed
+
+    def test_greedy_ablations_agree_on_final_invariant(self):
+        """Every ablation combination still satisfies
+        ``result.cost == bestcost(dag, result.plan.materialized)``."""
+        from repro.optimizer.costing import bestcost
+
+        for seed in range(0, 60, 3):
+            dag = random_dag(seed)
+            for sharability in (True, False):
+                for monotonicity in (True, False):
+                    result = optimize_greedy(
+                        dag,
+                        GreedyOptions(
+                            use_sharability=sharability, use_monotonicity=monotonicity
+                        ),
+                    )
+                    assert result.cost == bestcost(dag, result.plan.materialized), (
+                        seed,
+                        sharability,
+                        monotonicity,
+                    )
+
+
+class TestEngineKernelsVsReference:
+    def test_cost_tables_match_on_random_materialization_sets(self):
+        for seed in range(0, 100, 2):
+            dag = random_dag(seed)
+            rng = random.Random(seed ^ 0xA5A5)
+            for materialized in random_materialization_sets(dag, rng):
+                fast = compute_node_costs(dag, materialized)
+                reference = compute_node_costs_reference(dag, materialized)
+                assert fast == reference, (seed, sorted(materialized))
+
+    def test_incremental_state_tracks_reference_through_toggle_undo(self):
+        for seed in range(40):
+            dag = random_dag(seed)
+            state = IncrementalCostState(dag)
+            rng = random.Random(seed ^ 0x5A5A)
+            candidates = [
+                node
+                for node in dag.equivalence_nodes()
+                if not node.is_base and node is not dag.root
+            ]
+            materialized = set()
+            undo_stack = []
+            for _ in range(rng.randint(3, 8)):
+                if undo_stack and rng.random() < 0.4:
+                    node, log, added = undo_stack.pop()
+                    state.undo(node, log, added)
+                    materialized ^= {node.id}
+                else:
+                    node = rng.choice(candidates)
+                    add = node.id not in materialized
+                    log = state.toggle(node, add=add)
+                    undo_stack.append((node, log, add))
+                    materialized ^= {node.id}
+                expected = compute_node_costs_reference(dag, materialized)
+                for eq_node in dag.equivalence_nodes():
+                    assert state.costs[eq_node.id] == pytest.approx(
+                        expected[eq_node.id]
+                    ), (seed, eq_node.id)
+                assert state.total() == pytest.approx(
+                    total_cost_reference(dag, expected, materialized)
+                ), seed
+
+    def test_probe_many_equals_from_scratch_bestcost(self):
+        for seed in range(0, 60, 4):
+            dag = random_dag(seed)
+            state = IncrementalCostState(dag)
+            candidates = [
+                node.id
+                for node in dag.equivalence_nodes()
+                if not node.is_base and node is not dag.root
+            ]
+            before_costs = dict(state.costs)
+            before_total = state.total()
+            totals = state.probe_many(candidates)
+            # Probes are side-effect free (exact restore, no drift) ...
+            assert state.total() == before_total, seed
+            assert dict(state.costs) == before_costs, seed
+            # ... and each one equals the from-scratch bestcost.
+            for node_id, total in zip(candidates, totals):
+                expected_costs = compute_node_costs_reference(dag, {node_id})
+                expected = total_cost_reference(dag, expected_costs, {node_id})
+                assert total == pytest.approx(expected), (seed, node_id)
+
+
+class TestSharingSweepPaths:
+    @pytest.mark.skipif(_np is None, reason="NumPy not available")
+    def test_dense_and_sparse_sweeps_agree(self):
+        for seed in range(0, 100, 2):
+            dag = random_dag(seed)
+            targets = {
+                node.id
+                for node in dag.equivalence_nodes()
+                if not node.is_base and node is not dag.root
+            }
+            if not targets:
+                continue
+            dense = _batched_degrees_dense(dag, targets)
+            sparse = _batched_degrees_sparse(dag, targets)
+            assert dense == sparse, seed
+
+    def test_degrees_match_single_target_recurrence(self):
+        """Both sweep paths must equal the paper's one-target-at-a-time
+        recurrence (re-implemented here as the oracle)."""
+
+        def oracle_degree(dag, target):
+            memo = {}
+            for node in sorted(dag.equivalence_nodes(), key=lambda n: n.topo_number):
+                if node.id == target:
+                    memo[node.id] = 1.0
+                    continue
+                best = 0.0
+                for operation in node.operations:
+                    total = 0.0
+                    for child, multiplier in zip(
+                        operation.children, operation.child_multipliers
+                    ):
+                        total += multiplier * memo.get(child.id, 0.0)
+                    best = max(best, total)
+                memo[node.id] = best
+            return memo.get(dag.root.id, 0.0)
+
+        for seed in range(0, 40, 4):
+            dag = random_dag(seed)
+            get_engine(dag)  # numbers the DAG, as the sweeps do internally
+            targets = {
+                node.id
+                for node in dag.equivalence_nodes()
+                if not node.is_base and node is not dag.root
+            }
+            sparse = _batched_degrees_sparse(dag, targets)
+            for target in targets:
+                assert sparse[target] == pytest.approx(oracle_degree(dag, target)), (
+                    seed,
+                    target,
+                )

@@ -244,6 +244,85 @@ class TestMonotonicityBoundRegression:
         assert without.cost <= with_sharability.cost * 1.0001
 
 
+class TestDenseCostMappingView:
+    """The dense cost tables are exposed through a dict-compatible view;
+    every dict-style read external callers historically relied on must keep
+    behaving exactly like the ``{node_id: cost}`` dicts it replaced."""
+
+    def _view_and_dict(self, dag):
+        view = compute_node_costs(dag)
+        reference = dict(compute_node_costs_reference(dag))
+        return view, reference
+
+    def test_indexing_membership_and_misses(self, batch_dag):
+        view, reference = self._view_and_dict(batch_dag)
+        for node in batch_dag.equivalence_nodes():
+            assert view[node.id] == reference[node.id]
+            assert node.id in view
+        missing = len(reference)
+        assert missing not in view
+        with pytest.raises(KeyError):
+            view[missing]
+        with pytest.raises(KeyError):
+            view[-1]  # dict semantics: no negative-index aliasing
+        assert "0" not in view
+        assert view.get(missing) is None
+        assert view.get(missing, 123.0) == 123.0
+        assert view.get(0) == reference[0]
+
+    def test_iteration_items_keys_values_len(self, batch_dag):
+        view, reference = self._view_and_dict(batch_dag)
+        assert len(view) == len(reference)
+        assert list(view) == sorted(reference)
+        assert dict(view.items()) == reference
+        assert list(view.keys()) == sorted(reference)
+        assert list(view.values()) == [reference[k] for k in sorted(reference)]
+        assert dict(view) == reference
+
+    def test_items_keys_values_are_reusable_views(self, batch_dag):
+        """Like dict views (and unlike iterators), the views support multiple
+        passes and len() — e.g. summing and then maxing the same values()."""
+        view, reference = self._view_and_dict(batch_dag)
+        values = view.values()
+        # (summing in id order on both sides: float addition is order-sensitive
+        # and the reference dict iterates in topo-insertion order)
+        assert sum(values) == sum(reference[k] for k in sorted(reference))
+        assert max(values) == max(reference.values())  # second pass works
+        items = view.items()
+        assert len(items) == len(reference)
+        assert dict(items) == reference
+        assert dict(items) == reference  # second pass works
+        keys = view.keys()
+        assert len(keys) == len(reference)
+        assert 0 in keys and list(keys) == list(keys)
+
+    def test_equality_with_plain_dicts_both_directions(self, batch_dag):
+        view, reference = self._view_and_dict(batch_dag)
+        assert view == reference
+        assert reference == view
+        assert not (view != reference)
+        wrong = dict(reference)
+        wrong[0] = wrong[0] + 1.0
+        assert view != wrong
+        assert view != {k: v for k, v in reference.items() if k != 0}
+        assert view != object()
+
+    def test_state_costs_view_tracks_toggles(self, batch_dag):
+        state = IncrementalCostState(batch_dag)
+        node = next(
+            n for n in batch_dag.equivalence_nodes() if not n.is_base and len(n.parents) >= 2
+        )
+        before = dict(state.costs)
+        assert state.costs == before
+        log = state.toggle(node, add=True)
+        after = dict(state.costs)
+        assert after == dict(compute_node_costs_reference(batch_dag, {node.id}))
+        state.undo(node, log, added=True)
+        assert state.costs == before
+        # The view is live, not a snapshot taken at construction time.
+        assert dict(state.costs) != after or before == after
+
+
 class TestBatchedSharingDegrees:
     def test_batched_degrees_match_per_target_recurrence(self, batch_dag):
         """The one-sweep batched computation must equal the paper's one-target
