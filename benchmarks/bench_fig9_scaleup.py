@@ -13,9 +13,13 @@ array engine brought that to ~1.2/3.5/7.1/9.6/13 ms, and the dense
 incremental state + fused monotonicity probe loop (PR 2) to
 ~0.7/2.1/3.6/4.8/7 ms — identical plan costs and Figure 10 counters
 throughout.  The same PR 2 rework made Volcano-RU incremental: CQ5 dropped
-from ~53 ms to ~5 ms.  ``harness.py --perf-gate`` guards the greedy times
-against regressions in CI (normalized against a fixed calibration loop,
-baseline in ``benchmarks/perf_baseline.json``).
+from ~53 ms to ~5 ms.  PR 3 moved the Volcano-SH decision pass onto the same
+flat engine arrays and memoized the engine's empty-set cost table, taking
+Volcano-RU CQ5 to ~3.4 ms (standalone Volcano-SH CQ5 ~1.9→~0.9 ms) and, with
+the incremental unused-materialization pruning, greedy CQ1 to ~0.65 ms.
+``harness.py --perf-gate`` guards the greedy *and* Volcano-RU times against
+regressions in CI (normalized against a fixed calibration loop, baseline in
+``benchmarks/perf_baseline.json``).
 """
 
 import pytest

@@ -128,7 +128,10 @@ def smoke(batch_index: int = 2, json_path: Optional[str] = None) -> None:
 # ---------------------------------------------------------------------------
 
 #: Figure 9 workloads timed by the gate (the greedy hot path the engine work
-#: targets; CQ5 is the toggle-dominated worst case).
+#: targets; CQ5 is the toggle-dominated worst case).  Volcano-RU is gated on
+#: the same workloads: its dominant terms — the incremental per-order costing
+#: and the dense Volcano-SH decision pass it runs twice — are exactly the
+#: engine code paths this repo keeps rewriting.
 PERF_GATE_WORKLOADS = ("CQ1", "CQ3", "CQ5")
 PERF_GATE_TOLERANCE = 1.5
 DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -170,9 +173,8 @@ def _best_of(fn, repeats: int) -> List[float]:
     return times
 
 
-def measure_greedy_times(repeats: int = 7) -> Dict[str, float]:
-    """Min-of-N greedy optimization seconds for the gate workloads."""
-    from repro import Algorithm
+def _measure_algorithm_times(algorithm, repeats: int = 7) -> Dict[str, float]:
+    """Min-of-N optimization seconds for one algorithm on the gate workloads."""
     from repro.workloads.scaleup import all_scaleup_workloads
 
     optimizer = psp_optimizer()
@@ -181,33 +183,57 @@ def measure_greedy_times(repeats: int = 7) -> Dict[str, float]:
     for name in PERF_GATE_WORKLOADS:
         queries = workloads[name]
         dag = optimizer.build_dag(queries)
-        run = lambda: optimizer.optimize(queries, Algorithm.GREEDY, dag=dag)
+        run = lambda: optimizer.optimize(queries, algorithm, dag=dag)
         run()  # warm caches (cost engine snapshot)
         times[name] = min(_best_of(run, repeats))
     return times
 
 
+def measure_greedy_times(repeats: int = 7) -> Dict[str, float]:
+    """Min-of-N greedy optimization seconds for the gate workloads."""
+    from repro import Algorithm
+
+    return _measure_algorithm_times(Algorithm.GREEDY, repeats)
+
+
+def measure_volcano_ru_times(repeats: int = 7) -> Dict[str, float]:
+    """Min-of-N Volcano-RU optimization seconds for the gate workloads."""
+    from repro import Algorithm
+
+    return _measure_algorithm_times(Algorithm.VOLCANO_RU, repeats)
+
+
 def perf_gate(baseline_path: str, update: bool = False,
               tolerance: float = PERF_GATE_TOLERANCE) -> int:
-    """Fail (non-zero) if fig9 greedy times regress beyond the tolerance band.
+    """Fail (non-zero) if fig9 greedy or Volcano-RU times regress beyond the
+    tolerance band.
 
     Times are normalized by :func:`_calibrate` so the checked-in baseline
     transfers across machines; the band (default 1.5x) absorbs the remaining
     scheduling noise.
     """
     calibration = _calibrate()
-    times = measure_greedy_times()
-    normalized = {name: t / calibration for name, t in times.items()}
+    measured = {
+        "greedy": measure_greedy_times(),
+        "volcano_ru": measure_volcano_ru_times(),
+    }
+    normalized = {
+        series: {name: t / calibration for name, t in times.items()}
+        for series, times in measured.items()
+    }
     print(f"calibration: {calibration * 1000:.2f} ms")
-    for name in PERF_GATE_WORKLOADS:
-        print(f"{name}: greedy {times[name] * 1000:.2f} ms "
-              f"(normalized {normalized[name]:.3f})")
+    for series, times in measured.items():
+        for name in PERF_GATE_WORKLOADS:
+            print(f"{name}: {series} {times[name] * 1000:.2f} ms "
+                  f"(normalized {normalized[series][name]:.3f})")
 
     if update:
         payload = {
             "calibration_s": calibration,
-            "greedy_s": times,
-            "greedy_normalized": normalized,
+            "greedy_s": measured["greedy"],
+            "greedy_normalized": normalized["greedy"],
+            "volcano_ru_s": measured["volcano_ru"],
+            "volcano_ru_normalized": normalized["volcano_ru"],
             "tolerance": tolerance,
         }
         with open(baseline_path, "w") as handle:
@@ -224,14 +250,22 @@ def perf_gate(baseline_path: str, update: bool = False,
         return 2
 
     failures = []
-    for name in PERF_GATE_WORKLOADS:
-        reference = baseline["greedy_normalized"][name]
-        limit = reference * tolerance
-        if normalized[name] > limit:
-            failures.append(
-                f"{name}: normalized greedy time {normalized[name]:.3f} exceeds "
-                f"baseline {reference:.3f} x {tolerance} = {limit:.3f}"
-            )
+    for series, key in (("greedy", "greedy_normalized"),
+                        ("volcano_ru", "volcano_ru_normalized")):
+        reference_series = baseline.get(key)
+        if reference_series is None:
+            print(f"ERROR: baseline at {baseline_path} lacks '{key}'; "
+                  "regenerate it with --update-baseline", file=sys.stderr)
+            return 2
+        for name in PERF_GATE_WORKLOADS:
+            reference = reference_series[name]
+            limit = reference * tolerance
+            if normalized[series][name] > limit:
+                failures.append(
+                    f"{name}: normalized {series} time "
+                    f"{normalized[series][name]:.3f} exceeds baseline "
+                    f"{reference:.3f} x {tolerance} = {limit:.3f}"
+                )
     if failures:
         print("PERF REGRESSION:\n  " + "\n  ".join(failures), file=sys.stderr)
         return 1
@@ -251,8 +285,8 @@ def _main(argv: List[str]) -> int:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="with --smoke: also write the results as JSON")
     parser.add_argument("--perf-gate", action="store_true",
-                        help="fail if fig9 greedy times regress beyond the "
-                             "tolerance band vs. the checked-in baseline")
+                        help="fail if fig9 greedy or Volcano-RU times regress "
+                             "beyond the tolerance band vs. the checked-in baseline")
     parser.add_argument("--baseline", metavar="PATH", default=DEFAULT_BASELINE,
                         help="perf baseline JSON (default: benchmarks/perf_baseline.json)")
     parser.add_argument("--update-baseline", action="store_true",

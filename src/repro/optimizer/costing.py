@@ -133,8 +133,11 @@ def compute_node_costs(dag: Dag, materialized: Optional[Set[int]] = None) -> Map
     (see :class:`~repro.optimizer.engine.CostTableView`).
     """
     engine = get_engine(dag)
-    values = engine.compute_costs(materialized if materialized else EMPTY_SET)
-    return CostTableView(values)
+    if not materialized:
+        # The empty-set table is memoized on the engine; the view is
+        # read-only, so sharing the underlying list is safe.
+        return CostTableView(engine.baseline_costs())
+    return CostTableView(engine.compute_costs(materialized))
 
 
 def total_cost(
@@ -154,5 +157,6 @@ def best_operations(
 def bestcost(dag: Dag, materialized: Optional[Set[int]] = None) -> float:
     """Convenience wrapper: total cost of the batch given a materialized set."""
     engine = get_engine(dag)
-    materialized = materialized if materialized else EMPTY_SET
+    if not materialized:
+        return engine.total(engine.baseline_costs(), EMPTY_SET)
     return engine.total(engine.compute_costs(materialized), materialized)

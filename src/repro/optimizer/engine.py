@@ -62,13 +62,14 @@ Measured effect (see ``benchmarks/bench_fig9_scaleup.py`` and
 ``bench_fig10_greedy_complexity.py``; CPython 3.11, this container): greedy
 optimization of the largest scale-up workload CQ5 (303 equivalence nodes,
 1321 operation nodes) dropped from ~41 ms (object graph) to ~13 ms (array
-engine, PR 1) to ~7 ms (dense incremental state + fused probe loop, this
-revision), CQ1 from ~1.1 ms to ~0.7 ms; Volcano-RU on CQ5 dropped from
-~53 ms to ~5 ms (incremental per-query costing plus the dense Volcano-SH
-plan pass) and on the fig8 batch BQ5 from ~13 ms to ~4 ms — all with
-byte-identical plan costs, materialized sets, and counters for all four
-algorithms on every tier-1 workload and unchanged Figure 10 counters
-(CQ5: 2913 propagations, 172 benefit recomputations).
+engine, PR 1) to ~7 ms (dense incremental state + fused probe loop, PR 2),
+CQ1 from ~1.1 ms to ~0.65 ms; Volcano-RU on CQ5 dropped from ~53 ms to
+~5 ms (incremental per-query costing, PR 2) to ~3.4 ms (dense Volcano-SH
+decision pass + the memoized :meth:`CostEngine.baseline_costs` table, PR 3)
+and on the fig8 batch BQ5 from ~13 ms to ~3 ms — all with byte-identical
+plan costs, materialized sets, and counters for all four algorithms on every
+tier-1 workload and unchanged Figure 10 counters (CQ5: 2913 propagations,
+172 benefit recomputations).
 """
 
 from __future__ import annotations
@@ -185,8 +186,15 @@ class CostEngine:
         "op_table",
         "op_specs",
         "op_nodes",
+        "op_ids",
         "op_entry_by_op_id",
+        "op_node_by_id",
+        "op_owner",
+        "op_is_subsumption",
         "parent_ids",
+        "parent_op_ids",
+        "created_by_subsumption",
+        "_baseline_costs",
     )
 
     def __init__(self, dag: Dag) -> None:
@@ -269,6 +277,10 @@ class CostEngine:
                 else:
                     specs.append((children, local_cost))
             self.op_specs.append(tuple(specs))
+        #: Per node: operation-node ids, parallel to ``op_table``/``op_nodes``.
+        self.op_ids: List[Tuple[int, ...]] = [
+            tuple(operation.id for operation in node.operations) for node in nodes
+        ]
         #: Operation-node id -> its flat ``(local_cost, children)`` entry, for
         #: costing a *given* operation (Volcano-SH prices the plan's chosen
         #: operation rather than the argmin).  Operation ids are dense.
@@ -277,11 +289,40 @@ class CostEngine:
             for node_id in range(self.num_nodes)
             for operation, entry in zip(self.op_nodes[node_id], self.op_table[node_id])
         }
+        # Operation ids are dense 0..m-1 (Dag.add_operation numbers them by
+        # append order), so plain lists indexed by operation id serve as the
+        # id maps for the per-operation scalars below.
+        op_list = dag.operation_nodes()
+        for index, operation in enumerate(op_list):
+            if operation.id != index:
+                raise DagError(
+                    f"operation node ids must be dense, got id {operation.id} at index {index}"
+                )
+        #: Operation id -> OperationNode (for converting flat choices back).
+        self.op_node_by_id: List[OperationNode] = list(op_list)
+        #: Operation id -> id of the equivalence node the operation computes.
+        self.op_owner: List[int] = [operation.equivalence.id for operation in op_list]
+        #: Operation id -> ``is_subsumption`` flag (Volcano-SH pre-pass/undo).
+        self.op_is_subsumption: List[bool] = [
+            operation.is_subsumption for operation in op_list
+        ]
         #: Per node: unique ids of parent equivalence nodes (upward adjacency).
         self.parent_ids: List[Tuple[int, ...]] = [
             tuple(sorted({parent.equivalence.id for parent in node.parents}))
             for node in nodes
         ]
+        #: Per node: ids of the parent *operation* nodes, in ``node.parents``
+        #: order (Volcano-SH's special test scans a node's parent operations).
+        self.parent_op_ids: List[Tuple[int, ...]] = [
+            tuple(parent.id for parent in node.parents) for node in nodes
+        ]
+        #: Per node: whether the node was introduced by a subsumption
+        #: derivation (these must pay for themselves, Section 3.2).
+        self.created_by_subsumption: List[bool] = [
+            node.created_by_subsumption for node in nodes
+        ]
+        # Lazily memoized ``compute_costs(∅)`` (see :meth:`baseline_costs`).
+        self._baseline_costs: Optional[List[float]] = None
 
     # -- cost kernels ---------------------------------------------------------
     def compute_costs(self, materialized: Set[int] = EMPTY_SET) -> List[float]:
@@ -335,6 +376,19 @@ class CostEngine:
                 else:
                     effective[node_id] = cost
         return costs
+
+    def baseline_costs(self) -> List[float]:
+        """``compute_costs(∅)``, memoized for the engine's lifetime.
+
+        The empty-set table is requested by every optimization pass (state
+        seeds, Volcano baselines, the Volcano-SH fallback table) and the
+        snapshot's annotations are frozen (see :func:`get_engine`), so one
+        sweep serves them all.  The returned list is shared: callers must
+        treat it as read-only and copy (``list(...)``) before mutating.
+        """
+        if self._baseline_costs is None:
+            self._baseline_costs = self.compute_costs()
+        return self._baseline_costs
 
     def total(self, costs: CostTable, materialized: Set[int] = EMPTY_SET) -> float:
         """``bestcost(Q, M)``: root cost plus computing and materializing ``M``."""
@@ -399,6 +453,37 @@ class CostEngine:
         return effective
 
 
+def argmin_operation(operations: Tuple[tuple, ...], effective: Sequence[float]) -> int:
+    """Index of the argmin operation of one ``op_specs`` row under the
+    effective child costs, -1 when every alternative is infinite.
+
+    This is the per-node body of :meth:`CostEngine.best_operations` (which
+    keeps its own inlined copy for the full-table sweep): the strict ``<`` /
+    first-wins tie-breaking and left-associated accumulation are contractual
+    — the incremental greedy pruning recomputes individual choices with this
+    function and must land on the same operation as a full
+    ``best_operations`` pass, which the differential suite asserts.
+    """
+    best_index = -1
+    best = INFINITE_COST
+    for op_index, entry in enumerate(operations):
+        arity = len(entry)
+        if arity == 5:
+            c1, m1, c2, m2, local_cost = entry
+            total = local_cost + m1 * effective[c1] + m2 * effective[c2]
+        elif arity == 3:
+            c1, m1, local_cost = entry
+            total = local_cost + m1 * effective[c1]
+        else:
+            children, total = entry
+            for child_id, multiplier in children:
+                total += multiplier * effective[child_id]
+        if total < best:
+            best = total
+            best_index = op_index
+    return best_index
+
+
 class IncrementalCostState:
     """The incremental cost update machinery of Figure 5, on dense tables.
 
@@ -445,7 +530,7 @@ class IncrementalCostState:
         #: id -> EquivalenceNode (ids are dense, so the engine's list serves).
         self.nodes_by_id: Sequence[EquivalenceNode] = self.engine.nodes
         self.materialized: Set[int] = set()
-        self._costs: List[float] = self.engine.compute_costs()
+        self._costs: List[float] = list(self.engine.baseline_costs())
         #: C(e): min(cost, reuse) for materialized nodes, cost otherwise.
         self._effective: List[float] = list(self._costs)
         #: Dict-compatible read view of ``_costs`` (kept for API parity with

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.dag.nodes import Dag, DagError, EquivalenceNode, OperationNode
+from repro.optimizer.engine import get_engine as _engine
 
 
 class PlanError(RuntimeError):
@@ -45,23 +46,40 @@ class ConsolidatedPlan:
 
     def reachable(self, roots: Optional[Iterable[EquivalenceNode]] = None) -> List[EquivalenceNode]:
         """Equivalence nodes reachable from *roots* under the chosen operations."""
-        if roots is None:
-            roots = [self.dag.root]
-        seen: Dict[int, EquivalenceNode] = {}
-        stack = [root for root in roots]
+        root_ids = None if roots is None else [root.id for root in roots]
+        nodes = _engine(self.dag).nodes
+        return [nodes[node_id] for node_id in self.reachable_ids(root_ids)]
+
+    def reachable_ids(self, root_ids: Optional[Iterable[int]] = None) -> List[int]:
+        """Ids of the reachable plan nodes, in the same visit order as
+        :meth:`reachable`.
+
+        The walk runs on the flat operation entries of the shared
+        :class:`~repro.optimizer.engine.CostEngine` snapshot (one
+        ``operation.id`` read per plan node instead of a child-object
+        traversal), which is what the dense optimizer passes consume.
+        """
+        engine = _engine(self.dag)
+        op_entries = engine.op_entry_by_op_id
+        is_base = engine.is_base
+        choices = self.choices
+        order: List[int] = []
+        seen = bytearray(engine.num_nodes)
+        stack = [engine.root_id] if root_ids is None else list(root_ids)
         while stack:
-            node = stack.pop()
-            if node.id in seen:
+            node_id = stack.pop()
+            if seen[node_id]:
                 continue
-            seen[node.id] = node
-            if node.is_base:
+            seen[node_id] = 1
+            order.append(node_id)
+            if is_base[node_id]:
                 continue
-            operation = self.choices.get(node.id)
+            operation = choices.get(node_id)
             if operation is None:
                 continue
-            for child in operation.children:
-                stack.append(child)
-        return list(seen.values())
+            for child_id, _multiplier in op_entries[operation.id][1]:
+                stack.append(child_id)
+        return order
 
     def parent_counts(self, roots: Optional[Iterable[EquivalenceNode]] = None) -> Dict[int, int]:
         """Number of references to each node within the reachable plan.

@@ -36,6 +36,14 @@ end of the query is equivalent; across queries the toggled state reproduces
 recomputes the same minima from the same inputs).  The from-scratch
 formulation is kept as :func:`_run_order_reference` and the differential test
 suite asserts exact cost equality between the two on randomized workloads.
+
+The final materialization decisions come from the dense
+:func:`~repro.optimizer.volcano_sh.volcano_sh_pass`, which runs as index
+loops over the same engine snapshot — the pass executes once per query order
+(so twice per optimization) and used to be the largest remaining
+object-graph term in Volcano-RU wall time.  The reference order pass pairs
+with the object-graph ``_volcano_sh_reference`` instead, keeping the oracle
+side fully independent of the dense code paths.
 """
 
 from __future__ import annotations
@@ -49,7 +57,7 @@ from repro.optimizer.costing import best_operations, compute_node_costs
 from repro.optimizer.engine import INFINITE_COST, IncrementalCostState, get_engine
 from repro.optimizer.plans import ConsolidatedPlan
 from repro.optimizer.report import OptimizationResult
-from repro.optimizer.volcano_sh import volcano_sh_pass
+from repro.optimizer.volcano_sh import _volcano_sh_reference, volcano_sh_pass
 
 
 def _run_order(
@@ -142,9 +150,11 @@ def _run_order_reference(
     """The from-scratch reference formulation of one Volcano-RU pass.
 
     Re-costs the whole DAG per query (one ``compute_node_costs`` /
-    ``best_operations`` round each).  Kept as the correctness oracle for the
-    incremental :func:`_run_order`; the differential suite asserts exact
-    agreement between the two.
+    ``best_operations`` round each) and hands the combined plan to the
+    object-graph :func:`~repro.optimizer.volcano_sh._volcano_sh_reference`
+    pass, so the oracle shares **no** dense code path with
+    :func:`_run_order`.  The differential suite asserts exact agreement
+    between the two.
     """
     reuse_candidates: Set[int] = set()
     use_counts: Dict[int, int] = defaultdict(int)
@@ -169,7 +179,7 @@ def _run_order_reference(
     root_node = dag.root
     combined_choices[root_node.id] = root_node.operations[0]
     combined = ConsolidatedPlan(dag, combined_choices, set())
-    materialized, choices, total = volcano_sh_pass(dag, combined)
+    materialized, choices, total = _volcano_sh_reference(dag, combined)
     return total, materialized, choices
 
 

@@ -18,6 +18,22 @@ Key elements reproduced from the paper:
   only worth materializing if they pay for themselves through the savings
   they offer their parents;
 * the final accounting ``cost(root) + Σ_{m∈M} (cost(m) + matcost(m))``.
+
+**Dense decision pass.**  :func:`volcano_sh_pass` runs entirely on the shared
+:class:`~repro.optimizer.engine.CostEngine` snapshot: the consolidated plan's
+choices are copied once into flat id-indexed arrays (``choice_op`` /
+``choice_entry``), and reachability, the ``numuses⁻`` reference counts, the
+subsumption-swap pre-pass, the bottom-up materialization loop, and the final
+undo/accounting are all index loops over ``op_entry_by_op_id`` /
+``op_specs`` / ``parent_op_ids`` with no ``EquivalenceNode`` /
+``OperationNode`` attribute access on the hot path.  This matters because
+Volcano-RU runs the pass once per query order (twice per optimization), and
+the pass used to be the largest remaining object-graph walk in its profile.
+The previous object-graph formulation is retained verbatim as
+:func:`_volcano_sh_reference`; the differential suite asserts byte-identical
+materialized sets, operation choices, and costs between the two on every
+seeded workload and on randomized generator DAGs (including DAGs with
+subsumption derivations).
 """
 
 from __future__ import annotations
@@ -27,7 +43,7 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.dag.nodes import Dag, EquivalenceNode, OperationNode
 from repro.optimizer.costing import INFINITE_COST, compute_node_costs
-from repro.optimizer.engine import CostTableView, get_engine
+from repro.optimizer.engine import CostEngine, CostTableView, get_engine
 from repro.optimizer.plans import ConsolidatedPlan
 from repro.optimizer.report import OptimizationResult
 from repro.optimizer.volcano import consolidated_best_plan
@@ -51,10 +67,28 @@ def plan_node_costs(
     and returns a dict-compatible view of the dense table.
     """
     engine = get_engine(dag)
+    op_entries = engine.op_entry_by_op_id
+    choice_entry: List[Optional[Tuple[float, Tuple[Tuple[int, float], ...]]]] = (
+        [None] * engine.num_nodes
+    )
+    for node_id, operation in choices.items():
+        # ``best_operations`` stores None when every alternative is infinite;
+        # such nodes fall back to the argmin like any node without a choice.
+        if operation is not None:
+            choice_entry[node_id] = op_entries[operation.id]
+    return CostTableView(_plan_costs(engine, choice_entry, materialized))
+
+
+def _plan_costs(
+    engine: CostEngine,
+    choice_entry: List[Optional[Tuple[float, Tuple[Tuple[int, float], ...]]]],
+    materialized: Set[int],
+) -> List[float]:
+    """Dense kernel behind :func:`plan_node_costs`: per-node cost through the
+    chosen operation entry (argmin over ``op_specs`` where no entry exists)."""
     reuse_cost = engine.reuse_cost
     is_base = engine.is_base
     op_specs = engine.op_specs
-    op_entries = engine.op_entry_by_op_id
     costs: List[float] = [0.0] * engine.num_nodes
     # C(e) = min(cost(e), reusecost(e)) for materialized nodes.
     effective: List[float] = costs if not materialized else [0.0] * engine.num_nodes
@@ -63,27 +97,27 @@ def plan_node_costs(
         if is_base[node_id]:
             cost = 0.0
         else:
-            operation = choices.get(node_id)
-            if operation is not None:
-                cost, children = op_entries[operation.id]
+            entry = choice_entry[node_id]
+            if entry is not None:
+                cost, children = entry
                 for child_id, multiplier in children:
                     cost += multiplier * effective[child_id]
             else:
                 operations = op_specs[node_id]
                 cost = INFINITE_COST
                 if operations is not None:
-                    for entry in operations:
-                        arity = len(entry)
+                    for spec in operations:
+                        arity = len(spec)
                         if arity == 5:
-                            c1, m1, c2, m2, local_cost = entry
+                            c1, m1, c2, m2, local_cost = spec
                             candidate = (
                                 local_cost + m1 * effective[c1] + m2 * effective[c2]
                             )
                         elif arity == 3:
-                            c1, m1, local_cost = entry
+                            c1, m1, local_cost = spec
                             candidate = local_cost + m1 * effective[c1]
                         else:
-                            children, candidate = entry
+                            children, candidate = spec
                             for child_id, multiplier in children:
                                 candidate += multiplier * effective[child_id]
                         if candidate < cost:
@@ -95,8 +129,248 @@ def plan_node_costs(
                 effective[node_id] = reuse if reuse < cost else cost
             else:
                 effective[node_id] = cost
-    return CostTableView(costs)
+    return costs
 
+
+def _reachable_flags(
+    engine: CostEngine,
+    choice_entry: List[Optional[Tuple[float, Tuple[Tuple[int, float], ...]]]],
+) -> bytearray:
+    """Byte flags of the nodes reachable from the root under the choices."""
+    reachable = bytearray(engine.num_nodes)
+    is_base = engine.is_base
+    stack = [engine.root_id]
+    while stack:
+        node_id = stack.pop()
+        if reachable[node_id]:
+            continue
+        reachable[node_id] = 1
+        if is_base[node_id]:
+            continue
+        entry = choice_entry[node_id]
+        if entry is None:
+            continue
+        for child_id, _multiplier in entry[1]:
+            stack.append(child_id)
+    return reachable
+
+
+def volcano_sh_pass(
+    dag: Dag, plan: ConsolidatedPlan
+) -> Tuple[Set[int], Dict[int, OperationNode], float]:
+    """Run the Volcano-SH materialization pass over a consolidated plan.
+
+    Returns the set of materialized node ids, the (possibly pre-pass adjusted)
+    operation choices, and the resulting total cost.  The decisions run on
+    flat :class:`~repro.optimizer.engine.CostEngine` arrays (see the module
+    docstring) and are byte-identical to :func:`_volcano_sh_reference`.
+    """
+    engine = get_engine(dag)
+    num_nodes = engine.num_nodes
+    root_id = engine.root_id
+    is_base = engine.is_base
+    mat_cost = engine.mat_cost
+    reuse_cost = engine.reuse_cost
+    op_entries = engine.op_entry_by_op_id
+    op_ids = engine.op_ids
+    op_is_subsumption = engine.op_is_subsumption
+    op_owner = engine.op_owner
+    parent_op_ids = engine.parent_op_ids
+    created_by_subsumption = engine.created_by_subsumption
+
+    # -- snapshot: plan choices -> flat arrays (the only object traversal) --
+    choice_op: List[int] = [-1] * num_nodes
+    choice_entry: List[Optional[Tuple[float, Tuple[Tuple[int, float], ...]]]] = (
+        [None] * num_nodes
+    )
+    for node_id, operation in plan.choices.items():
+        # None choices (every alternative infinite) stay -1: the node is
+        # treated exactly like one without a chosen operation, as before.
+        if operation is None:
+            continue
+        op_id = operation.id
+        choice_op[node_id] = op_id
+        choice_entry[node_id] = op_entries[op_id]
+
+    baseline_costs = _plan_costs(engine, choice_entry, set())
+    reachable = _reachable_flags(engine, choice_entry)
+
+    # Pre-pass: swap applicable subsumption derivations into the plan.  A swap
+    # is only made if, assuming its source does get materialized, the node is
+    # no more expensive to obtain than through its original derivation —
+    # otherwise the swap could only hurt and would be undone anyway.
+    swapped: Dict[int, int] = {}
+    for node_id in range(num_nodes):
+        if not reachable[node_id] or is_base[node_id]:
+            continue
+        current = choice_op[node_id]
+        if current < 0 or op_is_subsumption[current]:
+            continue
+        # First subsumption derivation whose source is already in the plan.
+        alternative = -1
+        for op_id in op_ids[node_id]:
+            if not op_is_subsumption[op_id]:
+                continue
+            for child_id, _multiplier in op_entries[op_id][1]:
+                if not reachable[child_id] and not is_base[child_id]:
+                    break
+            else:
+                alternative = op_id
+                break
+        if alternative < 0:
+            continue
+        local_cost, children = op_entries[alternative]
+        via_materialized = local_cost + sum(
+            multiplier * reuse_cost[child_id] for child_id, multiplier in children
+        )
+        if via_materialized <= baseline_costs[node_id]:
+            swapped[node_id] = current
+            choice_op[node_id] = alternative
+            choice_entry[node_id] = op_entries[alternative]
+
+    if swapped:
+        reachable = _reachable_flags(engine, choice_entry)
+    # numuses⁻: references to each node within the reachable plan (use
+    # multipliers of nested-query invocations count as genuine uses).
+    numuses: List[int] = [0] * num_nodes
+    for node_id in range(num_nodes):
+        if not reachable[node_id] or is_base[node_id]:
+            continue
+        entry = choice_entry[node_id]
+        if entry is None:
+            continue
+        for child_id, multiplier in entry[1]:
+            numuses[child_id] += max(1, int(round(multiplier)))
+
+    # Fallback cost table (min over alternatives, nothing materialized) for
+    # children that are not part of the plan, e.g. when pricing the regular
+    # alternative of a node whose plan derivation is a subsumption derivation.
+    # Needed only by the subsumption special test, so computed on first use.
+    fallback_costs: Optional[List[float]] = None
+
+    materialized: Set[int] = set()
+    mat_flags = bytearray(num_nodes)
+    costs: List[float] = [0.0] * num_nodes
+    has_cost = bytearray(num_nodes)
+    for node_id in engine.topo_order:
+        if not reachable[node_id]:
+            continue
+        if is_base[node_id]:
+            has_cost[node_id] = 1
+            continue
+        entry = choice_entry[node_id]
+        if entry is None:
+            # Not actually part of the plan (defensive); use cheapest op.
+            best_key = INFINITE_COST
+            for op_id in op_ids[node_id]:
+                local_cost, children = op_entries[op_id]
+                key = local_cost + sum(
+                    multiplier * (costs[child_id] if has_cost[child_id] else 0.0)
+                    for child_id, multiplier in children
+                )
+                if key < best_key:
+                    best_key = key
+                    entry = op_entries[op_id]
+        local_cost, children = entry
+        cost = local_cost
+        for child_id, multiplier in children:
+            child_cost = costs[child_id]
+            if mat_flags[child_id]:
+                reuse = reuse_cost[child_id]
+                if reuse < child_cost:
+                    child_cost = reuse
+            cost += multiplier * child_cost
+        costs[node_id] = cost
+        has_cost[node_id] = 1
+
+        uses = numuses[node_id]
+        if uses <= 1:
+            continue
+        if not created_by_subsumption[node_id]:
+            if mat_cost[node_id] / (uses - 1) + reuse_cost[node_id] < cost:
+                materialized.add(node_id)
+                mat_flags[node_id] = 1
+        else:
+            # Nodes introduced by subsumption derivations must pay for
+            # themselves through the savings they offer their parents.
+            if fallback_costs is None:
+                fallback_costs = engine.baseline_costs()
+            lhs = cost + mat_cost[node_id] + reuse_cost[node_id] * (uses - 1)
+            savings = 0.0
+            for parent_op_id in parent_op_ids[node_id]:
+                parent_id = op_owner[parent_op_id]
+                if choice_op[parent_id] != parent_op_id:
+                    continue
+                # Cheapest regular (non-subsumption) alternative of the parent.
+                original = INFINITE_COST
+                for op_id in op_ids[parent_id]:
+                    if op_is_subsumption[op_id]:
+                        continue
+                    op_local, op_children = op_entries[op_id]
+                    candidate = op_local
+                    for child_id, multiplier in op_children:
+                        child_cost = (
+                            costs[child_id]
+                            if has_cost[child_id]
+                            else fallback_costs[child_id]
+                        )
+                        if mat_flags[child_id]:
+                            reuse = reuse_cost[child_id]
+                            if reuse < child_cost:
+                                child_cost = reuse
+                        candidate += multiplier * child_cost
+                    if candidate < original:
+                        original = candidate
+                parent_local, parent_children = op_entries[parent_op_id]
+                via_node = parent_local
+                for child_id, multiplier in parent_children:
+                    if child_id == node_id:
+                        child_cost = reuse_cost[node_id]
+                    else:
+                        child_cost = costs[child_id] if has_cost[child_id] else 0.0
+                    via_node += multiplier * child_cost
+                if original < INFINITE_COST:
+                    savings += max(0.0, original - via_node)
+            if lhs < savings:
+                materialized.add(node_id)
+                mat_flags[node_id] = 1
+
+    # Undo subsumption derivations whose shared source was not materialized.
+    undone = False
+    for node_id, original in swapped.items():
+        chosen = choice_op[node_id]
+        if op_is_subsumption[chosen] and not all(
+            mat_flags[child_id] or is_base[child_id]
+            for child_id, _multiplier in op_entries[chosen][1]
+        ):
+            choice_op[node_id] = original
+            choice_entry[node_id] = op_entries[original]
+            undone = True
+
+    if undone:
+        reachable = _reachable_flags(engine, choice_entry)
+    materialized = {node_id for node_id in materialized if reachable[node_id]}
+    final_costs = _plan_costs(engine, choice_entry, materialized)
+    total = final_costs[root_id]
+    for node_id in sorted(materialized):
+        total += final_costs[node_id] + mat_cost[node_id]
+
+    # Volcano-SH only adds sharing on top of the Volcano plan; if the
+    # heuristic decisions (made with the numuses underestimate) did not pay
+    # off, fall back to the plain Volcano plan rather than return a worse one.
+    baseline_total = baseline_costs[root_id]
+    if total > baseline_total:
+        return set(), dict(plan.choices), baseline_total
+    choices = dict(plan.choices)
+    op_node_by_id = engine.op_node_by_id
+    for node_id in swapped:
+        choices[node_id] = op_node_by_id[choice_op[node_id]]
+    return materialized, choices, total
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation (object-graph walk), kept as the oracle
+# ---------------------------------------------------------------------------
 
 def _subsumption_alternative(
     node: EquivalenceNode, reachable_ids: Set[int]
@@ -112,8 +386,8 @@ def _subsumption_alternative(
 
 def _cheapest_regular_operation(
     node: EquivalenceNode,
-    costs: Dict[int, float],
-    fallback_costs: Dict[int, float],
+    costs: Mapping[int, float],
+    fallback_costs: Mapping[int, float],
     materialized: Set[int],
 ) -> float:
     best = INFINITE_COST
@@ -130,13 +404,14 @@ def _cheapest_regular_operation(
     return best
 
 
-def volcano_sh_pass(
+def _volcano_sh_reference(
     dag: Dag, plan: ConsolidatedPlan
 ) -> Tuple[Set[int], Dict[int, OperationNode], float]:
-    """Run the Volcano-SH materialization pass over a consolidated plan.
+    """The object-graph formulation of the Volcano-SH pass.
 
-    Returns the set of materialized node ids, the (possibly pre-pass adjusted)
-    operation choices, and the resulting total cost.
+    Kept as the correctness oracle for the dense :func:`volcano_sh_pass`;
+    the differential suite asserts byte-identical materialized sets, choices,
+    and costs between the two.
     """
     choices = dict(plan.choices)
     reachable = plan.reachable()

@@ -119,6 +119,120 @@ def random_dag(
     return dag
 
 
+def random_subsumption_dag(seed: int) -> Dag:
+    """A :func:`random_dag` augmented with subsumption derivations.
+
+    The plain generator never sets ``is_subsumption`` / ``created_by_
+    subsumption``, so Volcano-SH's swap pre-pass, special materialization
+    test, and final undo are dead code on its output.  This variant
+    post-processes the random DAG (the base structure for a given *seed* is
+    byte-identical to ``random_dag(seed)``, so pinned seeds elsewhere are
+    unaffected) with its own deterministic rng: a few shared "weaker" source
+    nodes are created (flagged ``created_by_subsumption``), each derived from
+    earlier nodes, and one or more existing derived nodes get a flagged
+    subsumption derivation from the source.  Sources only ever reference
+    nodes created before every one of their consumers, which keeps the DAG
+    acyclic (an operation in the base generator never references a
+    later-created node).  Costs are randomized so that across seeds the swap
+    is sometimes taken outright by Volcano, sometimes swapped in and kept,
+    sometimes swapped in and undone, and the source is sometimes worth
+    materializing under the pay-for-itself test and sometimes not.
+    """
+    dag = random_dag(seed)
+    rng = random.Random((seed << 1) ^ 0xD06)
+    nodes = dag.equivalence_nodes()
+    consumers_pool = [
+        node for node in nodes if not node.is_base and node is not dag.root
+    ]
+    for group in range(rng.randint(1, 3)):
+        count = min(rng.randint(1, 3), len(consumers_pool))
+        if not count:
+            break
+        consumers = rng.sample(consumers_pool, count)
+        limit = min(node.id for node in consumers)
+        pool = [node for node in nodes if node.id < limit]
+        if not pool:
+            continue
+        arity = min(rng.choice([1, 2]), len(pool))
+        children = rng.sample(pool, arity)
+        source = dag.equivalence(
+            ("subsumption-source", group),
+            LogicalProperties(rows=float(rng.randint(1, 5_000))),
+            label=f"w{group}",
+        )
+        source.created_by_subsumption = True
+        dag.add_operation(
+            source,
+            _GenOp(f"weak{group}"),
+            children,
+            float(rng.randint(1, 120)),
+            tuple(1.0 for _ in children),
+        )
+        source.mat_cost = float(rng.randint(0, 60))
+        source.reuse_cost = float(rng.randint(0, 40))
+        for consumer in consumers:
+            dag.add_operation(
+                consumer,
+                _GenOp(f"sub{group}.{consumer.id}"),
+                [source],
+                float(rng.randint(1, 60)),
+                (1.0,),
+                is_subsumption=True,
+            )
+    dag.validate()
+    return dag
+
+
+def subsumption_undo_dag() -> Dag:
+    """A fixed DAG on which the Volcano-SH pre-pass swap must be undone.
+
+    Shape (labels in parentheses)::
+
+        root ── no-op ──> X, Y
+        X (consumer):  regular op over b1, local 55
+                       subsumption op over S, local 10   [is_subsumption]
+        Y (witness):   op over S, local 5
+        S (source):    op over b0, local 50              [created_by_subsumption]
+                       mat_cost 1000, reuse_cost 1
+
+    Plain Volcano picks X's regular derivation (55 < 10 + 50) while Y keeps
+    ``S`` in the plan, so the pre-pass condition holds for X
+    (``10 + 1·reuse(S) = 11 ≤ 55``) and the swap is made.  The source's
+    pay-for-itself test then fails spectacularly (``mat_cost`` 1000 against
+    savings of 93), ``S`` is not materialized, and the final undo must
+    revert X's choice to the regular derivation — leaving the plan exactly
+    where Volcano put it.
+    """
+    dag = Dag()
+    b0 = dag.equivalence(
+        ("base", 0), LogicalProperties(rows=100.0), label="b0",
+        is_base=True, base_table="b0",
+    )
+    b1 = dag.equivalence(
+        ("base", 1), LogicalProperties(rows=100.0), label="b1",
+        is_base=True, base_table="b1",
+    )
+    source = dag.equivalence(("S",), LogicalProperties(rows=50.0), label="S")
+    source.created_by_subsumption = True
+    dag.add_operation(source, _GenOp("weak"), [b0], 50.0, (1.0,))
+    source.mat_cost = 1000.0
+    source.reuse_cost = 1.0
+
+    consumer = dag.equivalence(("X",), LogicalProperties(rows=10.0), label="X")
+    dag.add_operation(consumer, _GenOp("regular"), [b1], 55.0, (1.0,))
+    dag.add_operation(
+        consumer, _GenOp("residual"), [source], 10.0, (1.0,), is_subsumption=True
+    )
+    witness = dag.equivalence(("Y",), LogicalProperties(rows=10.0), label="Y")
+    dag.add_operation(witness, _GenOp("use-S"), [source], 5.0, (1.0,))
+
+    root = dag.equivalence(("root",), LogicalProperties(rows=1.0), label="root")
+    dag.add_operation(root, _GenOp("no-op"), [consumer, witness], 0.0, (1.0, 1.0))
+    dag.set_root(root, [consumer, witness])
+    dag.validate()
+    return dag
+
+
 def random_materialization_sets(
     dag: Dag, rng: random.Random, count: int = 4
 ) -> List[set]:

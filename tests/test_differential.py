@@ -3,9 +3,12 @@
 Every optimizer in this package has at least one equivalent-by-construction
 twin: the array engine vs. the reference object-graph recurrence, the dense
 incremental cost state vs. from-scratch recomputation, incremental Volcano-RU
-vs. its per-query re-costing reference, the dense (NumPy) sharability sweep
-vs. the sparse dict sweep.  This suite pits them against each other on ~200
-seeded random AND-OR DAGs (see :mod:`tests.generators`) and additionally
+vs. its per-query re-costing reference, the dense Volcano-SH decision pass
+vs. its object-graph reference, the incremental greedy pruning fixpoint vs.
+its from-scratch rounds, the dense (NumPy) sharability sweep vs. the sparse
+dict sweep.  This suite pits them against each other on ~200 seeded random
+AND-OR DAGs (see :mod:`tests.generators`, including the subsumption-augmented
+variant that exercises the Volcano-SH swap/undo machinery) and additionally
 checks the qualitative algorithm ordering of the paper:
 
 * incremental Volcano-RU returns *exactly* (same total, same materialized
@@ -39,11 +42,27 @@ from repro.optimizer.costing import (
 )
 from repro.optimizer.engine import IncrementalCostState, get_engine
 from repro.optimizer.exhaustive import optimize_exhaustive
-from repro.optimizer.greedy import GreedyOptions, optimize_greedy
-from repro.optimizer.volcano import optimize_volcano
+from repro.optimizer.greedy import (
+    GreedyOptions,
+    _prune_unused,
+    _prune_unused_reference,
+    optimize_greedy,
+)
+from repro.optimizer.volcano import consolidated_best_plan, optimize_volcano
 from repro.optimizer.volcano_ru import _run_order, _run_order_reference
-from repro.optimizer.volcano_sh import optimize_volcano_sh
-from tests.generators import random_dag, random_materialization_sets
+from repro.optimizer.volcano_sh import (
+    _subsumption_alternative,
+    _volcano_sh_reference,
+    optimize_volcano_sh,
+    plan_node_costs,
+    volcano_sh_pass,
+)
+from tests.generators import (
+    random_dag,
+    random_materialization_sets,
+    random_subsumption_dag,
+    subsumption_undo_dag,
+)
 
 SEEDS = range(200)
 
@@ -208,6 +227,175 @@ class TestEngineKernelsVsReference:
                 expected_costs = compute_node_costs_reference(dag, {node_id})
                 expected = total_cost_reference(dag, expected_costs, {node_id})
                 assert total == pytest.approx(expected), (seed, node_id)
+
+
+def _assert_sh_pass_matches(dag, plan=None):
+    """Dense Volcano-SH must equal the object-graph reference byte-for-byte:
+    the materialized set, every operation choice (by identity), and the
+    exact float total."""
+    plan = plan or consolidated_best_plan(dag)
+    dense_mat, dense_choices, dense_total = volcano_sh_pass(dag, plan)
+    ref_mat, ref_choices, ref_total = _volcano_sh_reference(dag, plan)
+    assert dense_mat == ref_mat
+    assert dense_choices == ref_choices
+    assert all(dense_choices[k] is ref_choices[k] for k in ref_choices)
+    assert dense_total == ref_total
+    return ref_mat, ref_choices, ref_total
+
+
+class TestDenseVolcanoSH:
+    def test_matches_reference_on_random_dags(self):
+        for seed in SEEDS:
+            try:
+                _assert_sh_pass_matches(random_dag(seed))
+            except AssertionError:
+                raise AssertionError(f"dense Volcano-SH diverged on seed {seed}")
+
+    def test_matches_reference_on_subsumption_dags(self):
+        """The swap pre-pass, the created-by-subsumption pay-for-itself test,
+        and the final undo only run on DAGs with subsumption derivations;
+        the augmented generator exercises all of them (across these seeds
+        some swaps are kept, some undone, and some sources materialize)."""
+        for seed in range(100):
+            try:
+                _assert_sh_pass_matches(random_subsumption_dag(seed))
+            except AssertionError:
+                raise AssertionError(
+                    f"dense Volcano-SH diverged on subsumption seed {seed}"
+                )
+
+    def test_matches_reference_on_seeded_workloads(self, tpcd_optimizer, psp_optimizer):
+        """Byte-identical decisions on every tier-1 workload family: the TPC-D
+        batches (fig8), the PSP scale-up composites (fig9), the stand-alone
+        TPC-D queries (fig6), and a correlated parameterized batch."""
+        from repro.workloads import tpcd_queries as tq
+        from repro.workloads.batch import batched_queries
+        from repro.workloads.nested import parameterized_batch
+        from repro.workloads.scaleup import all_scaleup_workloads
+
+        dags = [tpcd_optimizer.build_dag(batched_queries(i)) for i in range(1, 6)]
+        dags += [
+            psp_optimizer.build_dag(queries)
+            for queries in all_scaleup_workloads().values()
+        ]
+        dags += [
+            tpcd_optimizer.build_dag(queries)
+            for queries in tq.standalone_workloads().values()
+        ]
+        dags.append(
+            tpcd_optimizer.build_dag(parameterized_batch(tq.q2_modified, [15, 25]))
+        )
+        for dag in dags:
+            _assert_sh_pass_matches(dag)
+
+    def test_ru_orders_match_on_subsumption_dags(self):
+        """End-to-end Volcano-RU (incremental costing + dense SH pass) versus
+        the fully object-graph reference chain, on DAGs where the SH pass has
+        real subsumption decisions to make."""
+        for seed in range(0, 100, 4):
+            dag = random_subsumption_dag(seed)
+            for order in _orders(dag):
+                incremental = _run_order(dag, order)
+                reference = _run_order_reference(dag, order)
+                assert incremental[0] == reference[0], (seed, order)
+                assert incremental[1] == reference[1], (seed, order)
+                assert incremental[2] == reference[2], (seed, order)
+
+    def test_swap_undone_when_source_not_materialized(self):
+        """Pinned undo scenario (see ``tests.generators.subsumption_undo_dag``):
+        the pre-pass provably swaps the consumer onto the subsumption
+        derivation, the source fails its pay-for-itself test, and the final
+        undo must leave the plan exactly where Volcano put it."""
+        dag = subsumption_undo_dag()
+        plan = consolidated_best_plan(dag)
+        consumer = dag.find(("X",))
+        source = dag.find(("S",))
+        regular = plan.choices[consumer.id]
+        assert not regular.is_subsumption
+
+        # The swap precondition of the pre-pass holds...
+        reachable_ids = {node.id for node in plan.reachable()}
+        alternative = _subsumption_alternative(consumer, reachable_ids)
+        assert alternative is not None and alternative.children[0] is source
+        via_materialized = alternative.local_cost + source.reuse_cost
+        baseline = plan_node_costs(dag, plan.choices, set())
+        assert via_materialized <= baseline[consumer.id]
+
+        materialized, choices, total = _assert_sh_pass_matches(dag, plan)
+        # ... the source is not worth materializing, so the swap is undone.
+        assert source.id not in materialized
+        assert materialized == set()
+        assert choices[consumer.id] is regular
+        assert choices == plan.choices
+        assert total == baseline[dag.root.id]
+
+    def test_swap_undone_on_pinned_workload(self, tpcd_optimizer):
+        """Same undo scenario on a real workload: in the TPC-D batch BQ2 the
+        two-year orders scan (node 18) gets swapped onto a subsumption select
+        over the three-year scan, whose source does not materialize."""
+        from repro.workloads.batch import batched_queries
+
+        dag = tpcd_optimizer.build_dag(batched_queries(2))
+        plan = consolidated_best_plan(dag)
+        node = dag.node_by_id(18)
+        original = plan.choices[node.id]
+        assert not original.is_subsumption
+
+        reachable_ids = {n.id for n in plan.reachable()}
+        alternative = _subsumption_alternative(node, reachable_ids)
+        assert alternative is not None
+        source_ids = [child.id for child in alternative.children]
+        via_materialized = alternative.local_cost + sum(
+            multiplier * child.reuse_cost
+            for child, multiplier in zip(alternative.children, alternative.child_multipliers)
+        )
+        baseline = plan_node_costs(dag, plan.choices, set())
+        assert via_materialized <= baseline[node.id]
+
+        materialized, choices, _total = _assert_sh_pass_matches(dag, plan)
+        assert not any(source_id in materialized for source_id in source_ids)
+        assert choices[node.id] is original
+        # The undo is selective: other swaps (whose sources did materialize)
+        # survive in the same plan.
+        assert any(choices[k] is not plan.choices[k] for k in plan.choices)
+
+
+class TestIncrementalGreedyPruning:
+    def _assert_prune_matches(self, dag, materialized):
+        incremental = _prune_unused(dag, set(materialized))
+        reference = _prune_unused_reference(dag, set(materialized))
+        assert incremental[0] == reference[0], sorted(materialized)
+        assert incremental[1] == reference[1], sorted(materialized)
+        assert incremental[2] == reference[2], sorted(materialized)
+
+    def test_matches_reference_on_random_sets(self):
+        """The incremental fixpoint (epsilon=0 toggles + dense choice/refcount
+        maintenance) must reproduce the from-scratch rounds exactly: same
+        surviving set, same argmin choices, same float total."""
+        for seed in range(0, 200, 2):
+            dag = random_dag(seed)
+            rng = random.Random(seed ^ 0x3C3C)
+            for materialized in random_materialization_sets(dag, rng, count=4):
+                try:
+                    self._assert_prune_matches(dag, materialized)
+                except AssertionError:
+                    raise AssertionError(f"pruning diverged on seed {seed}")
+
+    def test_matches_reference_on_subsumption_dags(self):
+        for seed in range(0, 100, 5):
+            dag = random_subsumption_dag(seed)
+            rng = random.Random(seed ^ 0xC3C3)
+            for materialized in random_materialization_sets(dag, rng, count=3):
+                self._assert_prune_matches(dag, materialized)
+
+    def test_matches_reference_on_workload_batches(self, tpcd_optimizer):
+        from repro.workloads.batch import batched_queries
+
+        for index in (1, 2, 3):
+            dag = tpcd_optimizer.build_dag(batched_queries(index))
+            rng = random.Random(index)
+            for materialized in random_materialization_sets(dag, rng, count=3):
+                self._assert_prune_matches(dag, materialized)
 
 
 class TestSharingSweepPaths:

@@ -68,6 +68,55 @@ class TestEngineSnapshot:
         for node in shared_dag.equivalence_nodes():
             assert shared_dag.node_by_id(node.id) is node
 
+    def test_operation_tables_mirror_dag(self, batch_dag):
+        """The dense operation-id-indexed tables (consumed by the Volcano-SH
+        decision pass) must mirror the object graph exactly."""
+        engine = get_engine(batch_dag)
+        for operation in batch_dag.operation_nodes():
+            assert engine.op_node_by_id[operation.id] is operation
+            assert engine.op_owner[operation.id] == operation.equivalence.id
+            assert engine.op_is_subsumption[operation.id] == operation.is_subsumption
+            local_cost, children = engine.op_entry_by_op_id[operation.id]
+            assert local_cost == operation.local_cost
+            assert children == tuple(
+                (child.id, multiplier)
+                for child, multiplier in zip(operation.children, operation.child_multipliers)
+            )
+        for node in batch_dag.equivalence_nodes():
+            assert engine.op_ids[node.id] == tuple(op.id for op in node.operations)
+            assert engine.parent_op_ids[node.id] == tuple(op.id for op in node.parents)
+            assert engine.created_by_subsumption[node.id] == node.created_by_subsumption
+
+    def test_plan_reachable_ids_match_object_walk(self, batch_dag):
+        """ConsolidatedPlan.reachable_ids must visit exactly the nodes of the
+        historical object-graph walk, in the same order (re-implemented here
+        as the oracle, since ``reachable`` itself now wraps the dense walk)."""
+        from repro.optimizer.volcano import consolidated_best_plan
+
+        def object_walk(plan, roots):
+            seen = {}
+            stack = list(roots)
+            while stack:
+                node = stack.pop()
+                if node.id in seen:
+                    continue
+                seen[node.id] = node
+                if node.is_base:
+                    continue
+                operation = plan.choices.get(node.id)
+                if operation is None:
+                    continue
+                for child in operation.children:
+                    stack.append(child)
+            return list(seen)
+
+        plan = consolidated_best_plan(batch_dag)
+        oracle = object_walk(plan, [batch_dag.root])
+        assert plan.reachable_ids() == oracle
+        assert [node.id for node in plan.reachable()] == oracle
+        root = batch_dag.query_roots[0]
+        assert plan.reachable_ids([root.id]) == object_walk(plan, [root])
+
 
 class TestEngineVsReference:
     """The engine-backed fast path must agree exactly with the reference
