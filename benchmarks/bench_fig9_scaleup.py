@@ -17,8 +17,18 @@ from ~53 ms to ~5 ms.  PR 3 moved the Volcano-SH decision pass onto the same
 flat engine arrays and memoized the engine's empty-set cost table, taking
 Volcano-RU CQ5 to ~3.4 ms (standalone Volcano-SH CQ5 ~1.9→~0.9 ms) and, with
 the incremental unused-materialization pruning, greedy CQ1 to ~0.65 ms.
-``harness.py --perf-gate`` guards the greedy *and* Volcano-RU times against
-regressions in CI (normalized against a fixed calibration loop, baseline in
+
+With the optimizers that fast, *DAG construction* dominated end-to-end wall
+time (the Section 6.4 overhead): ~15/44/73/98/140 ms warm on CQ1..CQ5
+(~220 ms for CQ5 cold, with profiling overhead).  The PR 4 memoized,
+hash-consed builder (join-choice memo, key-determined partition-enumeration
+skipping, weak-join memo in subsumption, cached tuple widths / copy-on-write
+``with_rows`` / cost-primitive memos) brings the warm build to
+~7.5/20/32/47/55 ms — CQ5 ~2.6x warm, ~4x against the cold pre-PR figure —
+with byte-identical DAGs (the builder differential oracle in
+``tests/test_differential.py``).  ``harness.py --perf-gate`` guards the
+greedy, Volcano-RU, *and* DAG-build times against regressions in CI
+(normalized against a fixed calibration loop, baseline in
 ``benchmarks/perf_baseline.json``).
 """
 

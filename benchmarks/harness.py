@@ -9,6 +9,29 @@ to time the part of the pipeline the figure is about.
 Absolute numbers differ from the paper (different machine, simulated
 execution substrate); the *shape* — which algorithm wins, by roughly what
 factor, and how costs scale — is what EXPERIMENTS.md records.
+
+**BENCH_pr<k>.json series.**  ``python benchmarks/harness.py --smoke --json
+PATH`` writes a machine-readable snapshot of one smoke run; the repository
+root keeps one per PR (``BENCH_pr4.json``, ...) as the performance
+trajectory.  Format, one entry per workload::
+
+    {
+      "<workload>": {
+        "build_ms": <min-of-N DAG construction wall time, milliseconds>,
+        "algorithms": {
+          "<algorithm>": {
+            "cost": <estimated plan cost, seconds>,
+            "optimization_time_ms": <wall time of the search, milliseconds>,
+            "materialized": [<equivalence node ids>],
+            "counters": {<Figure 10 counters>}
+          }
+        }
+      }
+    }
+
+Times are raw (not calibration-normalized): the trajectory documents what a
+given PR measured on its container, while regression *checking* goes through
+the normalized ``--perf-gate`` below.
 """
 
 from __future__ import annotations
@@ -51,15 +74,29 @@ def print_cost_table(title: str, rows: Dict[str, Dict[str, OptimizationResult]])
         print(line)
 
 
-def print_time_table(title: str, rows: Dict[str, Dict[str, OptimizationResult]]) -> None:
-    """Print optimization times, one line per workload."""
+def print_time_table(
+    title: str,
+    rows: Dict[str, Dict[str, OptimizationResult]],
+    build_times_ms: Optional[Dict[str, float]] = None,
+) -> None:
+    """Print optimization times, one line per workload.
+
+    When *build_times_ms* is given (workload -> milliseconds), a ``DAG
+    build`` column is appended — construction now being the part of the
+    pipeline Section 6.4 identifies as the dominant MQO overhead, the tables
+    report it alongside the search times.
+    """
     print(f"\n=== {title}: optimization time (milliseconds) ===")
     header = f"{'workload':<10s}" + "".join(f"{name:>14s}" for name in ALGORITHM_ORDER)
+    if build_times_ms is not None:
+        header += f"{'DAG build':>14s}"
     print(header)
     for workload, results in rows.items():
         line = f"{workload:<10s}"
         for name in ALGORITHM_ORDER:
             line += f"{results[name].optimization_time * 1000:14.2f}"
+        if build_times_ms is not None:
+            line += f"{build_times_ms[workload]:14.2f}"
         print(line)
 
 
@@ -106,20 +143,25 @@ def smoke(batch_index: int = 2, json_path: Optional[str] = None) -> None:
 
     queries = batched_queries(batch_index)
     optimizer = tpcd_optimizer()
+    workload = f"BQ{batch_index}"
+    optimizer.build_dag(queries)  # warm caches before timing construction
+    build_ms = min(_best_of(lambda: optimizer.build_dag(queries), 3)) * 1000.0
     results = run_workload(optimizer, queries)
-    rows = {f"BQ{batch_index}": results}
+    rows = {workload: results}
     print_cost_table("smoke (batched TPC-D)", rows)
-    print_time_table("smoke (batched TPC-D)", rows)
+    print_time_table("smoke (batched TPC-D)", rows, {workload: build_ms})
     assert_cost_ordering(results)
     greedy = results["Greedy"]
     # The materialized ids belong to the DAG the result was computed on.
     assert greedy.cost == bestcost(greedy.plan.dag, greedy.plan.materialized)
     if json_path:
+        payload = {workload: {"build_ms": build_ms,
+                              "algorithms": results_as_json(results)}}
         with open(json_path, "w") as handle:
-            json.dump({f"BQ{batch_index}": results_as_json(results)}, handle, indent=1,
-                      sort_keys=True)
+            json.dump(payload, handle, indent=1, sort_keys=True)
         print(f"smoke results written to {json_path}")
-    print(f"\nsmoke ok: {len(queries)} queries, greedy cost {greedy.cost:.2f}, "
+    print(f"\nsmoke ok: {len(queries)} queries, DAG build {build_ms:.2f} ms, "
+          f"greedy cost {greedy.cost:.2f}, "
           f"{greedy.materialized_count} materializations")
 
 
@@ -133,6 +175,11 @@ def smoke(batch_index: int = 2, json_path: Optional[str] = None) -> None:
 #: and the dense Volcano-SH decision pass it runs twice — are exactly the
 #: engine code paths this repo keeps rewriting.
 PERF_GATE_WORKLOADS = ("CQ1", "CQ3", "CQ5")
+#: DAG construction workloads gated since PR 4 (the memoized, hash-consed
+#: builder): the scale-up composites where overlap makes hash-consing pay,
+#: the largest TPC-D batch, and the no-overlap batch of Section 6.4 where the
+#: memo machinery must not cost anything.
+BUILD_GATE_WORKLOADS = ("CQ1", "CQ2", "CQ3", "CQ4", "CQ5", "BQ5", "NO-OVERLAP")
 PERF_GATE_TOLERANCE = 1.5
 DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 "perf_baseline.json")
@@ -203,39 +250,64 @@ def measure_volcano_ru_times(repeats: int = 7) -> Dict[str, float]:
     return _measure_algorithm_times(Algorithm.VOLCANO_RU, repeats)
 
 
+def measure_build_times(repeats: int = 5) -> Dict[str, float]:
+    """Min-of-N ``build_dag`` seconds for the build-gate workloads."""
+    from repro import MQOptimizer
+    from repro.catalog import tpcd_catalog
+    from repro.workloads.batch import batched_queries, no_overlap_batch
+    from repro.workloads.scaleup import all_scaleup_workloads
+
+    times: Dict[str, float] = {}
+    psp = psp_optimizer()
+    scaleup = all_scaleup_workloads()
+    tpcd = tpcd_optimizer()
+    no_overlap_queries, no_overlap_catalog = no_overlap_batch(tpcd_catalog(1.0))
+    cases = [(name, psp, scaleup[name]) for name in scaleup]
+    cases.append(("BQ5", tpcd, batched_queries(5)))
+    cases.append(("NO-OVERLAP", MQOptimizer(no_overlap_catalog), no_overlap_queries))
+    for name, optimizer, queries in cases:
+        if name not in BUILD_GATE_WORKLOADS:
+            continue
+        run = lambda: optimizer.build_dag(queries)
+        run()  # warm catalog/property caches
+        times[name] = min(_best_of(run, repeats))
+    return times
+
+
+#: Gate series: (name, baseline key, measurement fn, gated workloads).
+_GATE_SERIES = (
+    ("greedy", "greedy_normalized", measure_greedy_times, PERF_GATE_WORKLOADS),
+    ("volcano_ru", "volcano_ru_normalized", measure_volcano_ru_times, PERF_GATE_WORKLOADS),
+    ("build", "build_normalized", measure_build_times, BUILD_GATE_WORKLOADS),
+)
+
+
 def perf_gate(baseline_path: str, update: bool = False,
               tolerance: float = PERF_GATE_TOLERANCE) -> int:
-    """Fail (non-zero) if fig9 greedy or Volcano-RU times regress beyond the
-    tolerance band.
+    """Fail (non-zero) if fig9 greedy, Volcano-RU, or DAG construction times
+    regress beyond the tolerance band.
 
     Times are normalized by :func:`_calibrate` so the checked-in baseline
     transfers across machines; the band (default 1.5x) absorbs the remaining
     scheduling noise.
     """
     calibration = _calibrate()
-    measured = {
-        "greedy": measure_greedy_times(),
-        "volcano_ru": measure_volcano_ru_times(),
-    }
+    measured = {series: measure() for series, _, measure, _ in _GATE_SERIES}
     normalized = {
         series: {name: t / calibration for name, t in times.items()}
         for series, times in measured.items()
     }
     print(f"calibration: {calibration * 1000:.2f} ms")
-    for series, times in measured.items():
-        for name in PERF_GATE_WORKLOADS:
-            print(f"{name}: {series} {times[name] * 1000:.2f} ms "
+    for series, _, _, workloads in _GATE_SERIES:
+        for name in workloads:
+            print(f"{name}: {series} {measured[series][name] * 1000:.2f} ms "
                   f"(normalized {normalized[series][name]:.3f})")
 
     if update:
-        payload = {
-            "calibration_s": calibration,
-            "greedy_s": measured["greedy"],
-            "greedy_normalized": normalized["greedy"],
-            "volcano_ru_s": measured["volcano_ru"],
-            "volcano_ru_normalized": normalized["volcano_ru"],
-            "tolerance": tolerance,
-        }
+        payload = {"calibration_s": calibration, "tolerance": tolerance}
+        for series, key, _, _ in _GATE_SERIES:
+            payload[f"{series}_s"] = measured[series]
+            payload[key] = normalized[series]
         with open(baseline_path, "w") as handle:
             json.dump(payload, handle, indent=1, sort_keys=True)
         print(f"baseline written to {baseline_path}")
@@ -250,14 +322,13 @@ def perf_gate(baseline_path: str, update: bool = False,
         return 2
 
     failures = []
-    for series, key in (("greedy", "greedy_normalized"),
-                        ("volcano_ru", "volcano_ru_normalized")):
+    for series, key, _, workloads in _GATE_SERIES:
         reference_series = baseline.get(key)
         if reference_series is None:
             print(f"ERROR: baseline at {baseline_path} lacks '{key}'; "
                   "regenerate it with --update-baseline", file=sys.stderr)
             return 2
-        for name in PERF_GATE_WORKLOADS:
+        for name in workloads:
             reference = reference_series[name]
             limit = reference * tolerance
             if normalized[series][name] > limit:
@@ -285,8 +356,9 @@ def _main(argv: List[str]) -> int:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="with --smoke: also write the results as JSON")
     parser.add_argument("--perf-gate", action="store_true",
-                        help="fail if fig9 greedy or Volcano-RU times regress "
-                             "beyond the tolerance band vs. the checked-in baseline")
+                        help="fail if fig9 greedy, Volcano-RU, or DAG build "
+                             "times regress beyond the tolerance band vs. the "
+                             "checked-in baseline")
     parser.add_argument("--baseline", metavar="PATH", default=DEFAULT_BASELINE,
                         help="perf baseline JSON (default: benchmarks/perf_baseline.json)")
     parser.add_argument("--update-baseline", action="store_true",

@@ -42,8 +42,17 @@ class Predicate:
         raise NotImplementedError
 
     def relations(self) -> FrozenSet[str]:
-        """Return the set of relation aliases referenced by the predicate."""
-        return frozenset(c.relation for c in self.columns())
+        """Return the set of relation aliases referenced by the predicate.
+
+        Cached on the instance: the DAG builder consults the alias set of
+        every predicate once per query block it appears in, and all concrete
+        predicate classes are immutable (frozen dataclasses).
+        """
+        cached = self.__dict__.get("_relations")
+        if cached is None:
+            cached = frozenset(c.relation for c in self.columns())
+            object.__setattr__(self, "_relations", cached)
+        return cached
 
     def rename(self, mapping: Mapping[str, str]) -> "Predicate":
         """Return a copy with relation aliases rewritten through *mapping*.

@@ -85,14 +85,29 @@ class MQOptimizer:
         self.enable_mqo = enable_mqo
 
     # -- DAG construction ------------------------------------------------------
-    def build_dag(self, queries: Sequence[Query]) -> Dag:
-        """Build the combined AND-OR DAG for *queries*."""
+    def build_dag(self, queries: Sequence[Query], memoize: bool = True) -> Dag:
+        """Build the combined AND-OR DAG for *queries*.
+
+        ``memoize=False`` disables the builder-level memo tables (join-op
+        memo, partition-enumeration skipping, weak-join memo, per-node
+        caches), restoring the pre-memo control flow as the oracle for the
+        builder differential suite; value-level caches in the estimation and
+        cost layers are shared by both paths.  The two produce byte-identical
+        DAGs, the reference being several times slower on overlapping
+        batches.
+        """
         builder = DagBuilder(
             self.catalog,
             cost_model=self.cost_model,
             enable_subsumption=self.enable_subsumption and self.enable_mqo,
+            memoize=memoize,
         )
         return builder.build(list(queries))
+
+    def _build_reference(self, queries: Sequence[Query]) -> Dag:
+        """The builder with all builder-level memos disabled (the oracle for
+        the differential suite; see :meth:`build_dag`)."""
+        return self.build_dag(queries, memoize=False)
 
     # -- optimization ----------------------------------------------------------
     def optimize(

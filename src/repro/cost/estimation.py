@@ -52,7 +52,14 @@ class ColumnStats:
     high: Optional[float] = None
 
     def bounded(self, rows: float) -> "ColumnStats":
-        """Cap the distinct count by the row count of the owning result."""
+        """Cap the distinct count by the row count of the owning result.
+
+        Returns ``self`` (not an equal copy) when the cap changes nothing,
+        which is what lets :meth:`LogicalProperties.with_rows` skip rebuilding
+        its column dictionary on the no-change fast path.
+        """
+        if 1.0 <= self.distinct <= rows:
+            return self
         return ColumnStats(max(1.0, min(self.distinct, rows)), self.width, self.low, self.high)
 
 
@@ -65,10 +72,21 @@ class LogicalProperties:
 
     @property
     def tuple_width(self) -> int:
-        """Estimated width of one tuple in bytes."""
-        if not self.columns:
-            return 8
-        return max(1, sum(stat.width for stat in self.columns.values()))
+        """Estimated width of one tuple in bytes (computed once, then cached).
+
+        Every cost formula reads the width, so the sum over column stats used
+        to be recomputed tens of thousands of times per DAG build; the cached
+        value lives in the instance ``__dict__`` and is invisible to the
+        dataclass ``__eq__``/``__repr__``.
+        """
+        width = self.__dict__.get("_tuple_width")
+        if width is None:
+            if not self.columns:
+                width = 8
+            else:
+                width = max(1, sum(stat.width for stat in self.columns.values()))
+            object.__setattr__(self, "_tuple_width", width)
+        return width
 
     def column(self, ref: ColumnRef) -> Optional[ColumnStats]:
         return self.columns.get(ref)
@@ -81,10 +99,29 @@ class LogicalProperties:
         return max(1.0, min(stat.distinct, max(self.rows, 1.0)))
 
     def with_rows(self, rows: float) -> "LogicalProperties":
+        """A copy with the row count replaced and distinct counts re-bounded.
+
+        Copy-on-write: the column dictionary is only rebuilt when some stat is
+        actually re-bounded (``bounded`` returns ``self`` otherwise), and the
+        instance itself is returned when the row count is unchanged too.
+        Sharing the dictionary is safe — nothing in the code base mutates the
+        ``columns`` of an existing instance.
+        """
         rows = max(MIN_ROWS, rows)
-        return LogicalProperties(
-            rows, {ref: stat.bounded(rows) for ref, stat in self.columns.items()}
-        )
+        changed = None
+        for ref, stat in self.columns.items():
+            bounded = stat.bounded(rows)
+            if bounded is not stat:
+                if changed is None:
+                    changed = {}
+                changed[ref] = bounded
+        if changed is None:
+            if rows == self.rows:
+                return self
+            return LogicalProperties(rows, self.columns)
+        columns = dict(self.columns)
+        columns.update(changed)
+        return LogicalProperties(rows, columns)
 
 
 class Estimator:

@@ -17,14 +17,29 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import NamedTuple
 
 
-@dataclass(frozen=True)
-class Cost:
-    """A cost broken into I/O and CPU components (both in seconds)."""
+class Cost(NamedTuple):
+    """A cost broken into I/O and CPU components (both in seconds).
+
+    A ``NamedTuple`` rather than a (frozen) dataclass: tens of thousands of
+    instances are created per DAG build on the costing hot path, and tuple
+    construction is several times cheaper than frozen-dataclass
+    ``object.__setattr__`` initialization.  ``io``/``cpu``/``total``/``+``/
+    ``scaled``/``float()`` behave as before; the one semantic widening is
+    that a ``Cost`` now compares equal to a plain ``(io, cpu)`` tuple.
+    Tuple *repetition* (``cost * n``), which would silently produce a
+    4-tuple instead of a scaled cost, is blocked — use :meth:`scaled`.
+    """
 
     io: float = 0.0
     cpu: float = 0.0
+
+    def __mul__(self, factor):
+        raise TypeError("Cost does not support *; use Cost.scaled(factor)")
+
+    __rmul__ = __mul__
 
     @property
     def total(self) -> float:
@@ -60,6 +75,25 @@ class CostModel:
     #: Random-I/O cost of one index probe (traversal + one leaf/data block).
     index_probe_ios: int = 2
 
+    def __post_init__(self) -> None:
+        # Per-instance memo tables for the hottest pure primitives (``blocks``,
+        # ``external_sort``, ``index_probe_cost``).  A DAG build prices every
+        # join a node participates in, so the same (rows, width) pairs recur
+        # hundreds of times; the tables are keyed on the full argument tuple
+        # and the results are immutable, so hits are exact.  They live outside
+        # the dataclass fields (``__eq__``/``__hash__``/``repr`` unaffected)
+        # and are cleared when they grow past a bound so long-running services
+        # cannot leak memory through unbounded distinct estimates.
+        object.__setattr__(self, "_memo", {})
+
+    _MEMO_LIMIT = 1 << 16
+
+    def _memo_get(self, key):
+        memo = self._memo
+        if len(memo) > self._MEMO_LIMIT:
+            memo.clear()
+        return memo.get(key)
+
     # -- derived ---------------------------------------------------------------
     @property
     def memory_blocks(self) -> int:
@@ -73,10 +107,16 @@ class CostModel:
     # -- primitives -------------------------------------------------------------
     def blocks(self, rows: float, tuple_width: float) -> int:
         """Number of blocks occupied by *rows* tuples of *tuple_width* bytes."""
-        if rows <= 0:
-            return 1
-        per_block = max(1, int(self.block_size // max(1.0, tuple_width)))
-        return max(1, int(math.ceil(rows / per_block)))
+        key = ("blocks", rows, tuple_width)
+        cached = self._memo_get(key)
+        if cached is None:
+            if rows <= 0:
+                cached = 1
+            else:
+                per_block = max(1, int(self.block_size // max(1.0, tuple_width)))
+                cached = max(1, int(math.ceil(rows / per_block)))
+            self._memo[key] = cached
+        return cached
 
     def cpu(self, blocks: float, rows: float = 0.0) -> Cost:
         """CPU cost of processing *blocks* blocks (plus optional per-tuple cost)."""
@@ -102,6 +142,14 @@ class CostModel:
         A dataset that fits in memory is sorted at CPU cost only; otherwise
         the classic ``2 * blocks * passes`` I/O formula is used.
         """
+        key = ("sort", blocks, rows)
+        cached = self._memo_get(key)
+        if cached is None:
+            cached = self._external_sort(blocks, rows)
+            self._memo[key] = cached
+        return cached
+
+    def _external_sort(self, blocks: float, rows: float) -> Cost:
         if blocks <= self.memory_blocks:
             return self.cpu(blocks, rows)
         fan_in = max(2, self.memory_blocks - 1)
@@ -134,12 +182,17 @@ class CostModel:
 
     def index_probe_cost(self, matching_rows: float, tuple_width: float) -> Cost:
         """Cost of one index lookup retrieving *matching_rows* rows."""
-        matching_blocks = self.blocks(matching_rows, tuple_width) if matching_rows > 0 else 0
-        blocks_read = self.index_probe_ios + max(0, matching_blocks - 1)
-        return Cost(
-            self.seek_time + blocks_read * self.read_time_per_block,
-            blocks_read * self.cpu_time_per_block + matching_rows * self.cpu_time_per_tuple,
-        )
+        key = ("probe", matching_rows, tuple_width)
+        cached = self._memo_get(key)
+        if cached is None:
+            matching_blocks = self.blocks(matching_rows, tuple_width) if matching_rows > 0 else 0
+            blocks_read = self.index_probe_ios + max(0, matching_blocks - 1)
+            cached = Cost(
+                self.seek_time + blocks_read * self.read_time_per_block,
+                blocks_read * self.cpu_time_per_block + matching_rows * self.cpu_time_per_tuple,
+            )
+            self._memo[key] = cached
+        return cached
 
 
 #: The default cost model instance used throughout the library.

@@ -24,6 +24,24 @@ are represented with a ``nested_apply`` operation whose invariant input has a
 *use multiplier* equal to the estimated number of invocations, plus an
 index-augmented variant of the invariant result so that temporary index
 selection falls out of the ordinary materialization choice (Section 5).
+
+**Memoized, hash-consed construction.**  Batches with heavy overlap (the
+Section 6.2 scale-up chains, the weak-join rebuilds of the subsumption pass)
+repeatedly re-derive the same equivalence nodes and re-cost the same join
+operations; Section 6.4 of the paper reports exactly this DAG-expansion work
+as the dominant MQO overhead.  The builder therefore keeps per-build memo
+tables keyed on equivalence-node identity: join operations are costed once
+per ``(result, left, right)`` triple, delivered orders and applied-predicate
+sets are cached per node, predicate sort keys are interned, and — the big
+one — a join equivalence node whose partition enumeration is provably a pure
+function of its key (see :meth:`DagBuilder._expand_join_space`) is skipped
+entirely when a later block re-derives it.  Every memo caches a value that
+recomputation would reproduce bit-for-bit, so the memoized builder and the
+reference builder (``DagBuilder(..., memoize=False)``, which restores the
+pre-memo *control flow*; the value-level caches in the estimation and cost
+layers are shared by both paths) produce byte-identical DAGs;
+``tests/test_differential.py`` enforces this on every seeded workload family
+and on randomized query batches.
 """
 
 from __future__ import annotations
@@ -158,6 +176,7 @@ class DagBuilder:
         enable_subsumption: bool = True,
         max_block_relations: int = 14,
         prune_unreferenced_columns: bool = True,
+        memoize: bool = True,
     ) -> None:
         self.catalog = catalog
         self.cost_model = cost_model
@@ -171,6 +190,40 @@ class DagBuilder:
         self.prune_unreferenced_columns = prune_unreferenced_columns
         self._referenced_columns: Optional[frozenset] = None
         self.dag = Dag()
+        #: ``memoize=False`` is the reference builder: the exact pre-memo code
+        #: path, kept as the oracle for the builder differential suite.  All
+        #: memo tables below cache values that are pure functions of
+        #: equivalence-node identity within one build, so hits return exactly
+        #: what recomputation would.
+        self.memoize = memoize
+        #: ``(result.id, left.id, right.id)`` triples whose join operation has
+        #: already been chosen and added (the triple determines the connecting
+        #: predicates and hence the ``choose_join`` outcome).
+        self._join_op_memo: Optional[set] = set() if memoize else None
+        #: Ids of join equivalence nodes whose partition enumeration is a pure
+        #: function of their key and has been performed once already.
+        self._expanded_joins: Optional[set] = set() if memoize else None
+        #: ``(weakened leaf selections, join predicates)`` -> weak join node,
+        #: for the subsumption pass.
+        self._weak_join_memo: Optional[Dict] = {} if memoize else None
+        self._applicable_memo: Optional[Dict[int, FrozenSet[Predicate]]] = (
+            {} if memoize else None
+        )
+        self._delivered_order_memo: Optional[Dict[int, Tuple[ColumnRef, ...]]] = (
+            {} if memoize else None
+        )
+        #: Interned ``str(predicate)`` sort keys (used by every deterministic
+        #: ``sorted(..., key=str)`` in the builder and the subsumption pass;
+        #: pure caching, so it is active in the reference builder too).
+        self._pred_str: Dict[Predicate, str] = {}
+
+    def _pred_key(self, predicate: Predicate) -> str:
+        """Cached ``str(predicate)`` for deterministic predicate sorting."""
+        key = self._pred_str.get(predicate)
+        if key is None:
+            key = str(predicate)
+            self._pred_str[predicate] = key
+        return key
 
     # ------------------------------------------------------------------
     # Public API
@@ -559,7 +612,21 @@ class DagBuilder:
         leaf_nodes: Dict[str, EquivalenceNode],
         join_predicates: Sequence[Predicate],
     ) -> EquivalenceNode:
-        """Create one equivalence node per connected sub-set of the block."""
+        """Create one equivalence node per connected sub-set of the block.
+
+        Hash-consing: when a sub-set's equivalence node was already fully
+        enumerated by an earlier block (36 overlapping chain queries and the
+        weak-join rebuilds of the subsumption pass hit this constantly), its
+        partition enumeration is skipped outright instead of re-costing every
+        join only for ``add_operation`` to deduplicate it.  The skip is exact
+        only when the enumeration is a pure function of the node's key, i.e.
+        when the block adjacency restricted to the sub-set equals the
+        adjacency induced by the sub-set's own applicable predicates — the
+        artificial cross-product edges added below, and edges of predicates
+        spanning aliases outside the sub-set, are block-dependent, so sub-sets
+        relying on them are always re-enumerated (``add_operation`` keeps that
+        correct, merely slower).
+        """
         order = list(aliases)
         index_of = {alias: i for i, alias in enumerate(order)}
         n = len(order)
@@ -589,7 +656,14 @@ class DagBuilder:
             adjacency[a] |= 1 << b
             adjacency[b] |= 1 << a
 
+        connectivity: Dict[int, bool] = {}
+
         def connected(mask: int) -> bool:
+            # Memoized per block: partition enumeration re-tests the same
+            # sub-masks for every superset they appear under.
+            cached = connectivity.get(mask)
+            if cached is not None:
+                return cached
             start = mask & -mask
             seen = start
             frontier = start
@@ -605,10 +679,37 @@ class DagBuilder:
                     break
                 seen |= new
                 frontier = new
-            return seen == mask
+            result = seen == mask
+            connectivity[mask] = result
+            return result
 
         def applicable(mask: int) -> FrozenSet[Predicate]:
             return frozenset(p for pmask, p in pred_masks if pmask and (pmask & mask) == pmask)
+
+        def enumeration_is_canonical(mask: int) -> bool:
+            """True iff the partition enumeration of *mask* is a pure function
+            of its equivalence key: the block adjacency restricted to *mask*
+            must equal the adjacency induced by the predicates applicable
+            within *mask* (which are part of the key).  Artificial
+            cross-product edges and edges contributed by predicates spanning
+            aliases outside *mask* break the equality — those sub-sets must be
+            re-enumerated per block."""
+            app = [0] * n
+            for pmask, _ in pred_masks:
+                if pmask and (pmask & mask) == pmask:
+                    bits = pmask
+                    while bits:
+                        low = bits & -bits
+                        app[low.bit_length() - 1] |= pmask & ~low
+                        bits ^= low
+            bits = mask
+            while bits:
+                low = bits & -bits
+                i = low.bit_length() - 1
+                bits ^= low
+                if adjacency[i] & mask & ~low != app[i]:
+                    return False
+            return True
 
         nodes_by_mask: Dict[int, EquivalenceNode] = {}
         for i, alias in enumerate(order):
@@ -618,6 +719,7 @@ class DagBuilder:
         subsets = [m for m in range(3, full_mask + 1) if bin(m).count("1") >= 2 and connected(m)]
         subsets.sort(key=lambda m: bin(m).count("1"))
 
+        expanded = self._expanded_joins
         for mask in subsets:
             predicates = applicable(mask)
             member_keys = frozenset(nodes_by_mask[1 << i].key for i in range(n) if mask & (1 << i))
@@ -627,6 +729,16 @@ class DagBuilder:
                 props = self._join_properties(mask, nodes_by_mask, predicates, n)
                 labels = "⋈".join(order[i] for i in range(n) if mask & (1 << i))
                 node = self.dag.equivalence(key, props, labels)
+            elif (
+                expanded is not None
+                and node.id in expanded
+                and enumeration_is_canonical(mask)
+            ):
+                # The node's full, key-determined operation set is already in
+                # place (it was marked only after a canonical enumeration);
+                # this block's enumeration would re-derive exactly that set.
+                nodes_by_mask[mask] = node
+                continue
             nodes_by_mask[mask] = node
             # Enumerate ordered binary partitions (left, right).
             submask = (mask - 1) & mask
@@ -635,6 +747,8 @@ class DagBuilder:
                 if other and connected(submask) and connected(other):
                     self._add_join_operation(node, nodes_by_mask[submask], nodes_by_mask[other], predicates)
                 submask = (submask - 1) & mask
+            if expanded is not None and enumeration_is_canonical(mask):
+                expanded.add(node.id)
         return nodes_by_mask[full_mask]
 
     @staticmethod
@@ -677,7 +791,7 @@ class DagBuilder:
         # not associative — iterating in hash order made the row estimate
         # (and thus near-tie plan choices on the correlated Q2 workloads)
         # vary with PYTHONHASHSEED from run to run.
-        for predicate in sorted(predicates, key=str):
+        for predicate in sorted(predicates, key=self._pred_key):
             selectivity *= self.estimator.predicate_selectivity(predicate, props)
         return props.with_rows(props.rows * selectivity)
 
@@ -688,9 +802,19 @@ class DagBuilder:
         right: EquivalenceNode,
         all_predicates: FrozenSet[Predicate],
     ) -> None:
+        # ``all_predicates`` is always the result node's key predicate set, so
+        # the triple determines the connecting predicates and the
+        # ``choose_join`` outcome — repeats (the same partition re-derived by
+        # an overlapping query) can skip the costing entirely.
+        memo = self._join_op_memo
+        if memo is not None:
+            triple = (node.id, left.id, right.id)
+            if triple in memo:
+                return
+            memo.add(triple)
         left_preds = self._applicable_to(left, all_predicates)
         right_preds = self._applicable_to(right, all_predicates)
-        connecting = tuple(sorted(all_predicates - left_preds - right_preds, key=str))
+        connecting = tuple(sorted(all_predicates - left_preds - right_preds, key=self._pred_key))
         choice = alg.choose_join(
             self.cost_model,
             self.catalog,
@@ -706,12 +830,20 @@ class DagBuilder:
         operator = JoinOp(connecting, algorithm=choice.name)
         self.dag.add_operation(node, operator, [left, right], choice.total)
 
-    @staticmethod
-    def _applicable_to(node: EquivalenceNode, predicates: FrozenSet[Predicate]) -> FrozenSet[Predicate]:
+    def _applicable_to(self, node: EquivalenceNode, predicates: FrozenSet[Predicate]) -> FrozenSet[Predicate]:
         """Predicates already applied inside *node* (join sub-set or leaf)."""
+        memo = self._applicable_memo
+        if memo is not None:
+            cached = memo.get(node.id)
+            if cached is not None:
+                return cached
         if isinstance(node.key, tuple) and node.key and node.key[0] == "join":
-            return node.key[2]
-        return frozenset()
+            applied = node.key[2]
+        else:
+            applied = frozenset()
+        if memo is not None:
+            memo[node.id] = applied
+        return applied
 
     def _delivered_order(self, node: EquivalenceNode) -> Tuple[ColumnRef, ...]:
         """Sort order delivered by a scan of a clustered base table.
@@ -720,12 +852,19 @@ class DagBuilder:
         makes merge joins on primary-key join columns cheap without explicit
         sorts.  Intermediate joins conservatively deliver no order.
         """
+        memo = self._delivered_order_memo
+        if memo is not None:
+            cached = memo.get(node.id)
+            if cached is not None:
+                return cached
         if node.base_table is None or node.scan_alias is None:
-            return ()
-        index = self.catalog.table(node.base_table).clustered_index()
-        if index is None:
-            return ()
-        return (ColumnRef(node.scan_alias, index.column),)
+            order: Tuple[ColumnRef, ...] = ()
+        else:
+            index = self.catalog.table(node.base_table).clustered_index()
+            order = () if index is None else (ColumnRef(node.scan_alias, index.column),)
+        if memo is not None:
+            memo[node.id] = order
+        return order
 
     # ------------------------------------------------------------------
     # Materialization costs

@@ -22,6 +22,12 @@ derivations that let one sub-expression be computed from another:
 
 Every operation node added here is flagged ``is_subsumption`` so that
 Volcano-SH can apply its pre-pass/undo rule and reports can count them.
+
+The pass reuses the builder's memo tables (see :mod:`repro.dag.builder`):
+weak join nodes are memoized on their weakened selections, and the join-space
+re-expansion they trigger hash-conses every sub-join it shares with the
+original queries or with other weak-join ranges, which is what keeps this
+pass cheap on the scale-up workloads (70+ heavily overlapping ranges).
 """
 
 from __future__ import annotations
@@ -109,7 +115,10 @@ def _selection_subsumption(builder: "DagBuilder") -> int:
                 if not weaker_preds:
                     continue
                 if implies(and_(*stronger_preds), and_(*weaker_preds)):
-                    predicate = and_(*stronger_preds)
+                    # Sorted: the conjunct order is persisted in the SelectOp
+                    # (and printed by plan explains), and iterating the
+                    # frozenset directly made it vary with PYTHONHASHSEED.
+                    predicate = and_(*sorted(stronger_preds, key=builder._pred_key))
                     cost = alg.filter_cost(builder.cost_model, weaker.rows, stronger.rows)
                     builder.dag.add_operation(
                         stronger,
@@ -152,7 +161,7 @@ def _disjunction_subsumption(builder: "DagBuilder") -> int:
             distinct = {comparison.right for _, comparison in entries}
             if len(distinct) < 2:
                 continue
-            disjunction = or_(*sorted((c for _, c in entries), key=str))
+            disjunction = or_(*sorted((c for _, c in entries), key=builder._pred_key))
             shared = builder.scan_equivalence(table, alias, [disjunction])
             shared.created_by_subsumption = True
             for node, comparison in entries:
@@ -287,7 +296,7 @@ def _join_subsumption(builder: "DagBuilder") -> int:
                 residual.extend(extra)
             if not residual:
                 continue
-            predicate = and_(*sorted(residual, key=str))
+            predicate = and_(*sorted(residual, key=builder._pred_key))
             cost = alg.filter_cost(builder.cost_model, weak_node.rows, node.rows)
             builder.dag.add_operation(
                 node, SelectOp(predicate), [weak_node], cost.total, is_subsumption=True
@@ -301,12 +310,33 @@ def _weak_join_node(
     weak_preds: Dict[Tuple[str, str], FrozenSet[Predicate]],
     join_preds: FrozenSet[Predicate],
 ) -> Optional[EquivalenceNode]:
-    """Build (or find) the join node over the weakened leaves."""
+    """Build (or find) the join node over the weakened leaves.
+
+    Memoized on the weakened selections and join predicates: the result is a
+    pure function of them, so a repeat group resolves without re-deriving the
+    weak scans or re-expanding the join space (the expansion itself also
+    hash-conses its sub-joins, which is what makes the 70-odd overlapping
+    weak-join ranges of the scale-up workloads cheap).
+    """
+    memo = builder._weak_join_memo
+    memo_key = None
+    if memo is not None:
+        memo_key = (frozenset(weak_preds.items()), join_preds)
+        if memo_key in memo:
+            return memo[memo_key]
     aliases = []
     leaf_nodes: Dict[str, EquivalenceNode] = {}
     for (table, alias), predicates in sorted(weak_preds.items()):
         aliases.append(alias)
-        leaf_nodes[alias] = builder.scan_equivalence(table, alias, sorted(predicates, key=str))
+        leaf_nodes[alias] = builder.scan_equivalence(
+            table, alias, sorted(predicates, key=builder._pred_key)
+        )
     if len(aliases) < 2:
-        return None
-    return builder._expand_join_space(aliases, leaf_nodes, sorted(join_preds, key=str))
+        node = None
+    else:
+        node = builder._expand_join_space(
+            aliases, leaf_nodes, sorted(join_preds, key=builder._pred_key)
+        )
+    if memo is not None:
+        memo[memo_key] = node
+    return node

@@ -26,7 +26,21 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
+from repro.algebra import (
+    Aggregate,
+    AggregateFunction,
+    Join,
+    Relation,
+    Select,
+    and_,
+    col,
+    eq,
+    ge,
+    le,
+    or_,
+)
 from repro.cost.estimation import LogicalProperties
+from repro.dag.builder import Query
 from repro.dag.nodes import Dag, EquivalenceNode, Operator
 
 
@@ -231,6 +245,142 @@ def subsumption_undo_dag() -> Dag:
     dag.set_root(root, [consumer, witness])
     dag.validate()
     return dag
+
+
+def random_query_workload(seed: int, max_queries: int = 4) -> List[Query]:
+    """A randomized overlapping *query batch* (for the builder oracle).
+
+    Unlike :func:`random_dag`, which fabricates AND-OR DAGs directly, this
+    generator produces actual algebra expressions over the PSP catalog so the
+    full ``DagBuilder`` pipeline runs: join-space expansion (including blocks
+    left deliberately disconnected, which exercises the artificial
+    cross-product edges where the memoized builder must *not* hash-cons),
+    repeated tables within one block (canonical ``#k`` aliases), predicates
+    spanning more than two relations (disjunctions), overlapping range and
+    equality selections (selection/disjunction subsumption), and occasional
+    aggregations.  Deterministic in *seed*: every random draw goes through one
+    ``random.Random`` and no hash-order iteration is involved.
+    """
+    rng = random.Random(seed ^ 0xB11D)
+    thresholds = (100, 250, 400, 700)
+    queries: List[Query] = []
+    for q in range(rng.randint(2, max_queries)):
+        k = rng.randint(2, 5)
+        tables = [rng.randint(1, 6) for _ in range(k)]
+        aliases: List[str] = []
+        occurrences = {}
+        relations: List[Relation] = []
+        for table in tables:
+            occ = occurrences.get(table, 0)
+            occurrences[table] = occ + 1
+            alias = f"psp{table}" if occ == 0 else f"psp{table}x{occ}"
+            aliases.append(alias)
+            relations.append(Relation(f"psp{table}", alias))
+
+        expression = relations[0]
+        for i in range(1, k):
+            if rng.random() < 0.75:
+                j = rng.randrange(i)
+                predicate = eq(col(aliases[j], "sp"), col(aliases[i], "p"))
+            else:
+                predicate = None  # disconnected: forces a cross-product edge
+            if predicate is None:
+                expression = Join(expression, relations[i])
+            else:
+                expression = Join(expression, relations[i], predicate)
+
+        extras = []
+        if k >= 3 and rng.random() < 0.3:
+            a, b, c = rng.sample(aliases, 3)
+            extras.append(
+                or_(eq(col(a, "sp"), col(b, "p")), eq(col(a, "sp"), col(c, "p")))
+            )
+        for alias in aliases:
+            if rng.random() < 0.5:
+                comparison = rng.choice((ge, le, eq))
+                extras.append(comparison(col(alias, "num"), rng.choice(thresholds)))
+        if extras:
+            expression = Select(expression, and_(*extras))
+
+        # Aggregate only over aliases the canonical renaming leaves unchanged
+        # (single-occurrence tables keep their table name), so the group-by
+        # columns still resolve in the block's output.
+        stable = [a for a, t in zip(aliases, tables) if tables.count(t) == 1]
+        if stable and rng.random() < 0.3:
+            target = rng.choice(stable)
+            expression = Aggregate(
+                expression,
+                group_by=(col(target, "num"),),
+                aggregates=(AggregateFunction("sum", col(target, "p"), "total"),),
+                alias=f"agg{q}",
+            )
+        queries.append(Query(f"R{seed}.{q}", expression))
+    return queries
+
+
+def dag_fingerprint(dag: Dag) -> str:
+    """A canonical, hash-order-independent serialization of a built DAG.
+
+    Covers everything the optimizers consume: equivalence keys, logical
+    properties (rows, per-column stats), materialization/reuse costs,
+    topological numbers, and the full operation list (operator payload,
+    children, multipliers, local costs, subsumption flags).  Two DAGs with
+    equal fingerprints are byte-identical as far as every algorithm in
+    :mod:`repro.optimizer` is concerned; frozensets inside keys are sorted by
+    their canonical token so the fingerprint is stable across
+    ``PYTHONHASHSEED`` values.
+    """
+
+    def token(value) -> str:
+        if isinstance(value, tuple):
+            return "(" + ",".join(token(v) for v in value) + ")"
+        if isinstance(value, frozenset):
+            return "{" + ",".join(sorted(token(v) for v in value)) + "}"
+        return f"{type(value).__name__}:{value!r}"
+
+    parts = []
+    for node in dag.equivalence_nodes():
+        stats = "|".join(
+            f"{ref!r}={stat.distinct!r}:{stat.width}:{stat.low!r}:{stat.high!r}"
+            for ref, stat in sorted(
+                node.properties.columns.items(), key=lambda item: repr(item[0])
+            )
+        )
+        operations = ";".join(
+            "~".join(
+                (
+                    str(op.id),
+                    repr(op.operator),
+                    ",".join(str(child.id) for child in op.children),
+                    ",".join(repr(m) for m in op.child_multipliers),
+                    repr(op.local_cost),
+                    str(op.is_subsumption),
+                )
+            )
+            for op in node.operations
+        )
+        parts.append(
+            "\x1e".join(
+                (
+                    str(node.id),
+                    token(node.key),
+                    node.label,
+                    repr(node.properties.rows),
+                    stats,
+                    repr(node.mat_cost),
+                    repr(node.reuse_cost),
+                    str(node.topo_number),
+                    str(node.is_base),
+                    str(node.base_table),
+                    str(node.scan_alias),
+                    str(node.created_by_subsumption),
+                    operations,
+                )
+            )
+        )
+    roots = ",".join(str(node.id) for node in dag.query_roots)
+    header = f"root={dag.root.id if dag.root else None};queries={roots};names={dag.query_names!r}"
+    return header + "\x1d" + "\x1d".join(parts)
 
 
 def random_materialization_sets(

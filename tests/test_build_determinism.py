@@ -1,0 +1,94 @@
+"""DAG construction determinism.
+
+The memoized builder (PR 4) caches join choices, weak-join nodes, and
+partition enumerations keyed on equivalence-node identity; nothing in those
+caches may depend on object addresses or hash iteration order.  Two guarantees
+are locked down here:
+
+* **Consecutive builds** of the same batch (fresh builder each time, as
+  ``MQOptimizer.build_dag`` always creates one) produce byte-identical DAGs —
+  node keys, properties, operation lists, costs, topological numbers.
+* **``PYTHONHASHSEED`` independence**: separate interpreter processes with
+  different hash seeds produce identical canonical fingerprints, for both the
+  memoized and the reference builder.  (PR 2 fixed the selectivity-product
+  hash-order leak in ``_join_properties``; PR 4 fixed the residual-conjunct
+  order of subsumption selections, which this test would catch regressing.)
+
+The fingerprints come from :func:`tests.generators.dag_fingerprint`, which
+sorts every frozenset by a canonical token so the serialization itself is
+hash-order independent.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+from repro import MQOptimizer
+from repro.catalog import psp_catalog
+from repro.workloads.scaleup import scaleup_queries
+from tests.generators import dag_fingerprint, random_query_workload
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Runs inside a fresh interpreter per hash seed; prints one digest per line.
+_SUBPROCESS_SCRIPT = """\
+import hashlib, sys
+sys.path.insert(0, "src")
+sys.path.insert(0, ".")
+from repro import MQOptimizer
+from repro.catalog import psp_catalog
+from repro.workloads.scaleup import scaleup_queries
+from tests.generators import dag_fingerprint, random_query_workload
+
+optimizer = MQOptimizer(psp_catalog())
+for seed in (0, 3, 7):
+    queries = random_query_workload(seed)
+    for memoize in (True, False):
+        fingerprint = dag_fingerprint(optimizer.build_dag(queries, memoize=memoize))
+        print(seed, memoize, hashlib.sha256(fingerprint.encode()).hexdigest())
+fingerprint = dag_fingerprint(optimizer.build_dag(scaleup_queries(2)))
+print("CQ2", hashlib.sha256(fingerprint.encode()).hexdigest())
+"""
+
+
+class TestBuildDeterminism:
+    def test_consecutive_builds_identical(self):
+        optimizer = MQOptimizer(psp_catalog())
+        for seed in (0, 1, 5, 9):
+            queries = random_query_workload(seed)
+            first = dag_fingerprint(optimizer.build_dag(queries))
+            second = dag_fingerprint(optimizer.build_dag(queries))
+            assert first == second, seed
+
+    def test_consecutive_reference_builds_identical(self):
+        optimizer = MQOptimizer(psp_catalog())
+        for seed in (0, 5):
+            queries = random_query_workload(seed)
+            first = dag_fingerprint(optimizer._build_reference(queries))
+            second = dag_fingerprint(optimizer._build_reference(queries))
+            assert first == second, seed
+
+    def test_fingerprint_distinguishes_workloads(self):
+        """Sanity for the oracle itself: different batches must not collide."""
+        optimizer = MQOptimizer(psp_catalog())
+        a = dag_fingerprint(optimizer.build_dag(random_query_workload(0)))
+        b = dag_fingerprint(optimizer.build_dag(random_query_workload(1)))
+        c = dag_fingerprint(optimizer.build_dag(scaleup_queries(1)))
+        assert len({a, b, c}) == 3
+
+    def test_builds_identical_across_hashseeds(self):
+        outputs = {}
+        for hashseed in ("0", "1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            result = subprocess.run(
+                [sys.executable, "-c", _SUBPROCESS_SCRIPT],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=REPO_ROOT,
+                check=True,
+            )
+            outputs[hashseed] = result.stdout
+        assert outputs["0"].strip(), "subprocess produced no digests"
+        assert len(set(outputs.values())) == 1, outputs

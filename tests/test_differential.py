@@ -19,7 +19,12 @@ checks the qualitative algorithm ordering of the paper:
   known — a behavioral change in either direction fails the suite;
 * the engine cost kernels equal the reference recurrence on random
   materialization sets, and the dense incremental state tracks from-scratch
-  costs through random toggle/undo/probe sequences.
+  costs through random toggle/undo/probe sequences;
+* the memoized, hash-consed DAG builder produces DAGs byte-identical to the
+  reference (memo-free) builder — equivalence keys, properties, operation
+  sets, costs, topological numbers — on every seeded workload family and on
+  randomized query batches, and all four paper algorithms return identical
+  results (cost, materialized set, counters, plan explain) on both.
 
 All seeds are fixed, so the suite is deterministic; a failure message always
 names the seed that reproduces it.
@@ -58,8 +63,10 @@ from repro.optimizer.volcano_sh import (
     volcano_sh_pass,
 )
 from tests.generators import (
+    dag_fingerprint,
     random_dag,
     random_materialization_sets,
+    random_query_workload,
     random_subsumption_dag,
     subsumption_undo_dag,
 )
@@ -396,6 +403,86 @@ class TestIncrementalGreedyPruning:
             rng = random.Random(index)
             for materialized in random_materialization_sets(dag, rng, count=3):
                 self._assert_prune_matches(dag, materialized)
+
+
+def _seeded_builder_workloads(tpcd_optimizer, psp_optimizer):
+    """(name, optimizer, queries) for every seeded workload family the suite
+    locks down: TPC-D batches BQ1..BQ5 (fig8), scale-up composites CQ1..CQ5
+    (fig9), the stand-alone queries (fig6), the correlated parameterized
+    batch, and the no-overlap batch of Section 6.4."""
+    from repro import MQOptimizer
+    from repro.catalog import tpcd_catalog
+    from repro.workloads import tpcd_queries as tq
+    from repro.workloads.batch import all_batched_workloads, no_overlap_batch
+    from repro.workloads.nested import parameterized_batch
+    from repro.workloads.scaleup import all_scaleup_workloads
+
+    entries = []
+    for name, queries in all_batched_workloads().items():
+        entries.append((name, tpcd_optimizer, queries))
+    for name, queries in all_scaleup_workloads().items():
+        entries.append((name, psp_optimizer, queries))
+    for name, queries in tq.standalone_workloads().items():
+        entries.append((name, tpcd_optimizer, queries))
+    entries.append(
+        ("Q2-param", tpcd_optimizer, parameterized_batch(tq.q2_modified, [15, 25]))
+    )
+    no_overlap, extended = no_overlap_batch(tpcd_catalog(1.0))
+    entries.append(("no-overlap", MQOptimizer(extended), no_overlap))
+    return entries
+
+
+def _assert_algorithms_identical(memo_dag, ref_dag, context):
+    """All four paper algorithms must return byte-identical results on the
+    memoized and the reference DAG: exact float cost, materialized set,
+    Figure 10 counters, and the rendered plan."""
+    from repro.optimizer import optimize_greedy as greedy
+    from repro.optimizer.volcano import optimize_volcano as volcano
+    from repro.optimizer.volcano_ru import optimize_volcano_ru as volcano_ru
+    from repro.optimizer.volcano_sh import optimize_volcano_sh as volcano_sh
+
+    for optimize in (volcano, volcano_sh, volcano_ru, greedy):
+        fast = optimize(memo_dag)
+        reference = optimize(ref_dag)
+        label = (context, optimize.__name__)
+        assert fast.cost == reference.cost, label
+        assert fast.plan.materialized == reference.plan.materialized, label
+        assert fast.counters == reference.counters, label
+        assert fast.plan.explain() == reference.plan.explain(), label
+
+
+class TestBuilderMemoOracle:
+    """The memoized, hash-consed builder vs. the reference (memo-free) one."""
+
+    def test_matches_reference_on_seeded_workloads(self, tpcd_optimizer, psp_optimizer):
+        for name, optimizer, queries in _seeded_builder_workloads(
+            tpcd_optimizer, psp_optimizer
+        ):
+            memo_dag = optimizer.build_dag(queries)
+            ref_dag = optimizer._build_reference(queries)
+            assert dag_fingerprint(memo_dag) == dag_fingerprint(ref_dag), name
+            _assert_algorithms_identical(memo_dag, ref_dag, name)
+
+    def test_matches_reference_on_random_query_batches(self, psp_optimizer):
+        """Randomized batches stress the paths the seeded workloads do not:
+        disconnected blocks (cross-product edges, where hash-consing must
+        stand down), repeated tables, spanning disjunction predicates, and
+        overlapping selections feeding every subsumption rule."""
+        for seed in range(40):
+            queries = random_query_workload(seed)
+            memo_dag = psp_optimizer.build_dag(queries)
+            ref_dag = psp_optimizer._build_reference(queries)
+            assert dag_fingerprint(memo_dag) == dag_fingerprint(ref_dag), seed
+            _assert_algorithms_identical(memo_dag, ref_dag, seed)
+
+    def test_memo_builder_is_default_and_flag_reaches_builder(self, psp_optimizer):
+        from repro.dag.builder import DagBuilder
+
+        assert DagBuilder(psp_optimizer.catalog).memoize
+        reference = DagBuilder(psp_optimizer.catalog, memoize=False)
+        assert reference._join_op_memo is None
+        assert reference._expanded_joins is None
+        assert reference._weak_join_memo is None
 
 
 class TestSharingSweepPaths:
