@@ -15,12 +15,16 @@ The package provides:
 * :mod:`repro.execution` — a simulated execution engine and data generators;
 * :mod:`repro.workloads` — the TPC-D, batched and scale-up workloads of the
   paper's evaluation;
-* :mod:`repro.api` — the public façade (:class:`MQOptimizer`).
+* :mod:`repro.api` — the public façade (:class:`MQOptimizer`);
+* :mod:`repro.service` — the long-lived service layer
+  (:class:`OptimizerSession`): a catalog-lifetime plan/fragment cache that
+  makes warm rebuilds of overlapping batches cheap.
 """
 
 from repro.api import Algorithm, MQOptimizer, PAPER_ALGORITHMS, optimize
 from repro.dag.builder import Query
 from repro.optimizer import GreedyOptions, OptimizationResult
+from repro.service import OptimizerSession, SessionCache
 
 __version__ = "1.0.0"
 
@@ -32,5 +36,7 @@ __all__ = [
     "Query",
     "GreedyOptions",
     "OptimizationResult",
+    "OptimizerSession",
+    "SessionCache",
     "__version__",
 ]

@@ -109,6 +109,26 @@ class MQOptimizer:
         the differential suite; see :meth:`build_dag`)."""
         return self.build_dag(queries, memoize=False)
 
+    def session(self, cache_plans: bool = True) -> "OptimizerSession":
+        """A long-lived :class:`~repro.service.session.OptimizerSession` with
+        this optimizer's catalog, cost model and flags.
+
+        The session keeps a catalog-lifetime fragment cache (and, with
+        *cache_plans*, a batch-level plan cache) alive across ``build_dag``
+        calls, making warm rebuilds of overlapping batches several times
+        cheaper while staying byte-identical to this optimizer's output; see
+        :mod:`repro.service.session` for the invalidation contract.
+        """
+        from repro.service.session import OptimizerSession
+
+        return OptimizerSession(
+            self.catalog,
+            cost_model=self.cost_model,
+            enable_subsumption=self.enable_subsumption,
+            enable_mqo=self.enable_mqo,
+            cache_plans=cache_plans,
+        )
+
     # -- optimization ----------------------------------------------------------
     def optimize(
         self,

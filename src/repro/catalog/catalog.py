@@ -1,10 +1,29 @@
-"""The catalog: a named collection of tables with lookup helpers."""
+"""The catalog: a named collection of tables with lookup helpers.
+
+The catalog is also the **invalidation anchor** for every cache that outlives
+a single DAG build (:mod:`repro.service.session`).  Three monotonically
+increasing counters are maintained:
+
+* :attr:`Catalog.statistics_epoch` — bumped on *every* mutation (schema or
+  statistics).  A cache that recorded the epoch can tell in O(1) whether
+  anything at all changed since it was filled.
+* :attr:`Catalog.schema_epoch` — bumped only when the set of tables, their
+  columns, or their indexes may have changed (:meth:`add_table`).  Schema
+  changes invalidate everything downstream, because cached plan choices may
+  depend on indexes and column sets that no longer exist.
+* :meth:`Catalog.stats_version` — a per-relation counter bumped by
+  statistics-only mutations (:meth:`update_statistics`).  Caches tag their
+  entries with the relations they depend on and evict *only* entries touching
+  a relation whose version moved (targeted invalidation).
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 from repro.catalog.schema import Column, Index, Table
+
+NumericBounds = Tuple[Optional[float], Optional[float]]
 
 
 class CatalogError(KeyError):
@@ -16,13 +35,91 @@ class Catalog:
 
     def __init__(self, tables: Iterable[Table] = ()) -> None:
         self._tables: Dict[str, Table] = {}
+        self._statistics_epoch: int = 0
+        self._schema_epoch: int = 0
+        self._stats_versions: Dict[str, int] = {}
         for table in tables:
             self.add_table(table)
 
     # -- population ---------------------------------------------------------
     def add_table(self, table: Table) -> None:
-        """Register *table*; replaces any previous table with the same name."""
-        self._tables[table.name.lower()] = table
+        """Register *table*; replaces any previous table with the same name.
+
+        Adding (or replacing) a table is a **schema** change: it may alter
+        columns and indexes, so both epochs advance and session caches must
+        discard everything derived from this catalog.
+        """
+        name = table.name.lower()
+        self._tables[name] = table
+        self._statistics_epoch += 1
+        self._schema_epoch += 1
+        self._stats_versions[name] = self._stats_versions.get(name, 0) + 1
+
+    def update_statistics(
+        self,
+        name: str,
+        row_count: Optional[int] = None,
+        distinct: Optional[Mapping[str, int]] = None,
+        bounds: Optional[Mapping[str, NumericBounds]] = None,
+    ) -> Table:
+        """Replace statistics of table *name* in place and return the new table.
+
+        Only row counts, distinct-value counts, and numeric (low, high)
+        bounds can change here — the column set, widths, and indexes are
+        preserved, so this is a **statistics-only** mutation: it bumps the
+        global :attr:`statistics_epoch` and the table's
+        :meth:`stats_version`, but not the :attr:`schema_epoch`.  Session
+        caches react by evicting only the entries that depend on *name*
+        (targeted invalidation) instead of starting cold.
+        """
+        table = self.table(name)
+        distinct = distinct or {}
+        bounds = bounds or {}
+        for column in list(distinct) + list(bounds):
+            if not table.has_column(column):
+                raise CatalogError(f"table {name!r} has no column {column!r}")
+        columns = []
+        for column in table.columns:
+            low, high = bounds.get(column.name, (column.low, column.high))
+            columns.append(
+                Column(
+                    column.name,
+                    column.width,
+                    distinct.get(column.name, column.distinct),
+                    low,
+                    high,
+                )
+            )
+        updated = Table(
+            name=table.name,
+            columns=tuple(columns),
+            row_count=table.row_count if row_count is None else row_count,
+            indexes=table.indexes,
+        )
+        key = table.name.lower()
+        self._tables[key] = updated
+        self._statistics_epoch += 1
+        self._stats_versions[key] = self._stats_versions.get(key, 0) + 1
+        return updated
+
+    # -- versioning -----------------------------------------------------------
+    @property
+    def statistics_epoch(self) -> int:
+        """Counter advanced by every mutation (schema or statistics)."""
+        return self._statistics_epoch
+
+    @property
+    def schema_epoch(self) -> int:
+        """Counter advanced only by schema-level mutations (:meth:`add_table`)."""
+        return self._schema_epoch
+
+    def stats_version(self, name: str) -> int:
+        """Per-relation statistics version (0 if the table never existed)."""
+        return self._stats_versions.get(name.lower(), 0)
+
+    def stats_versions(self) -> Dict[str, int]:
+        """Snapshot of every relation's statistics version."""
+        return dict(self._stats_versions)
 
     # -- lookup ---------------------------------------------------------------
     def table(self, name: str) -> Table:

@@ -15,6 +15,24 @@ These estimates feed the cost model of :mod:`repro.cost.model`; the paper uses
 "standard techniques ... using statistics about relations" without further
 detail, so faithfulness here means using the textbook formulas consistently
 for all algorithms being compared.
+
+Two engineering properties of this layer matter to everything above it:
+
+* **Immutability + value-level caching.**  :class:`LogicalProperties` and
+  :class:`ColumnStats` are frozen; ``tuple_width`` is computed once per
+  instance, ``bounded``/``with_rows`` are copy-on-write (returning ``self``
+  on the no-change fast path and sharing column dictionaries otherwise).
+  These caches are pure values, shared by every code path — including the
+  memo-free reference builder — so they need no invalidation.
+* **Order-sensitive floats.**  Row estimates are folds of float
+  multiplications, which are not associative: the same result reached by a
+  different fold order can differ in the last ulp.  Everything that persists
+  an estimate across contexts therefore either fixes a canonical order
+  (sorted predicate strings, see ``DagBuilder._join_properties``) or keys on
+  the identity of the input properties objects (the catalog-lifetime session
+  caches of :mod:`repro.service.session`) — never on value-equality of
+  floats.  Statistics enter only through the catalog, whose
+  statistics/schema epochs drive cache invalidation.
 """
 
 from __future__ import annotations

@@ -34,21 +34,46 @@ tables keyed on equivalence-node identity: join operations are costed once
 per ``(result, left, right)`` triple, delivered orders and applied-predicate
 sets are cached per node, predicate sort keys are interned, and — the big
 one — a join equivalence node whose partition enumeration is provably a pure
-function of its key (see :meth:`DagBuilder._expand_join_space`) is skipped
-entirely when a later block re-derives it.  Every memo caches a value that
-recomputation would reproduce bit-for-bit, so the memoized builder and the
-reference builder (``DagBuilder(..., memoize=False)``, which restores the
-pre-memo *control flow*; the value-level caches in the estimation and cost
-layers are shared by both paths) produce byte-identical DAGs;
-``tests/test_differential.py`` enforces this on every seeded workload family
-and on randomized query batches.
+function of its key (the canonical-adjacency condition, now
+:meth:`_BlockShape.canonical`) is skipped entirely when a later block
+re-derives it.  Every memo caches a value that recomputation would reproduce
+bit-for-bit, so the memoized builder and the reference builder
+(``DagBuilder(..., memoize=False)``, which restores the pre-memo *control
+flow*; the value-level caches in the estimation and cost layers are shared
+by both paths) produce byte-identical DAGs; ``tests/test_differential.py``
+enforces this on every seeded workload family and on randomized query
+batches.
+
+**Catalog-lifetime sessions.**  A builder can additionally be handed a
+:class:`repro.service.session.SessionCache` (``session=...``), the cache
+that outlives single builds: scan choices, derived properties, join-op cost
+triples, whole partition-enumeration *recipes* for canonical join nodes,
+block shapes, weak-join build plans and predicate implications are then
+consulted before the per-build memos, making warm rebuilds of overlapping
+batches several times cheaper.  Session entries are keyed on canonical
+equivalence keys plus the *identity* of the input properties objects (float
+folds are evaluation-order sensitive — identity is what keeps warm rebuilds
+byte-identical) and are invalidated through the catalog's statistics/schema
+epochs; see :mod:`repro.service.session`.  The reference builder never uses
+a session: it remains the oracle that cold, warm, and post-invalidation
+session builds are fingerprint-compared against
+(``tests/test_session_cache.py``).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.algebra.columns import ColumnRef
 from repro.algebra.expressions import (
@@ -60,7 +85,7 @@ from repro.algebra.expressions import (
     Select,
 )
 from repro.algebra.nested import CorrelatedSubqueryFilter
-from repro.algebra.predicates import Comparison, Predicate, and_, conjuncts_of
+from repro.algebra.predicates import Comparison, Predicate, and_, conjuncts_of, implies
 from repro.catalog.catalog import Catalog
 from repro.cost import algorithms as alg
 from repro.cost.estimation import Estimator, LogicalProperties
@@ -77,6 +102,9 @@ from repro.dag.nodes import (
     ScanOp,
     SelectOp,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.session import SessionCache
 
 
 @dataclass(frozen=True)
@@ -113,6 +141,137 @@ class _Leaf:
     table: Optional[str]
     sub_expression: Optional[Expression]
     predicates: List[Predicate] = field(default_factory=list)
+
+
+class _BlockShape:
+    """Connectivity and enumeration structure of one join block.
+
+    Everything here is a pure function of ``(n, adjacency, predicate
+    masks)`` — bit-level combinatorics with no catalog or statistics input —
+    so instances are shared across blocks *and across builds* through the
+    session cache (:attr:`repro.service.session.SessionCache.block_shapes`).
+    Members are memoized lazily: without a session an instance lives for one
+    :meth:`DagBuilder._expand_join_space` call and behaves exactly like the
+    per-call memo dictionaries it replaced; with a session, repeated block
+    shapes (the scale-up chains reuse one shape for all their blocks, and
+    warm rebuilds reuse every shape) skip the connectivity sweeps and the
+    partition enumeration outright.
+    """
+
+    __slots__ = (
+        "n",
+        "adjacency",
+        "pred_masks",
+        "subsets",
+        "_connectivity",
+        "_applicable",
+        "_canonical",
+        "_partitions",
+    )
+
+    def __init__(self, n: int, adjacency: Tuple[int, ...], pred_masks: Tuple[int, ...]) -> None:
+        self.n = n
+        self.adjacency = adjacency
+        self.pred_masks = pred_masks
+        self._connectivity: Dict[int, bool] = {}
+        self._applicable: Dict[int, Tuple[int, ...]] = {}
+        self._canonical: Dict[int, bool] = {}
+        self._partitions: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        full_mask = (1 << n) - 1
+        connected = self.connected
+        subsets = [
+            m for m in range(3, full_mask + 1) if bin(m).count("1") >= 2 and connected(m)
+        ]
+        subsets.sort(key=lambda m: bin(m).count("1"))
+        #: All connected sub-sets of two or more leaves, smallest first.
+        self.subsets = subsets
+
+    def connected(self, mask: int) -> bool:
+        """Whether *mask* is connected in the block's join graph (memoized:
+        partition enumeration re-tests the same sub-masks for every superset
+        they appear under)."""
+        cached = self._connectivity.get(mask)
+        if cached is not None:
+            return cached
+        adjacency = self.adjacency
+        start = mask & -mask
+        seen = start
+        frontier = start
+        while frontier:
+            reachable = 0
+            bits = frontier
+            while bits:
+                low = bits & -bits
+                reachable |= adjacency[low.bit_length() - 1]
+                bits ^= low
+            new = reachable & mask & ~seen
+            if not new:
+                break
+            seen |= new
+            frontier = new
+        result = seen == mask
+        self._connectivity[mask] = result
+        return result
+
+    def applicable_indices(self, mask: int) -> Tuple[int, ...]:
+        """Indices of the block predicates fully contained in *mask*."""
+        cached = self._applicable.get(mask)
+        if cached is None:
+            cached = tuple(
+                i
+                for i, pmask in enumerate(self.pred_masks)
+                if pmask and (pmask & mask) == pmask
+            )
+            self._applicable[mask] = cached
+        return cached
+
+    def canonical(self, mask: int) -> bool:
+        """True iff the partition enumeration of *mask* is a pure function of
+        its equivalence key: the block adjacency restricted to *mask* must
+        equal the adjacency induced by the predicates applicable within
+        *mask* (which are part of the key).  Artificial cross-product edges
+        and edges contributed by predicates spanning aliases outside *mask*
+        break the equality — those sub-sets must be re-enumerated per block.
+        """
+        cached = self._canonical.get(mask)
+        if cached is None:
+            app = [0] * self.n
+            for pmask in self.pred_masks:
+                if pmask and (pmask & mask) == pmask:
+                    bits = pmask
+                    while bits:
+                        low = bits & -bits
+                        app[low.bit_length() - 1] |= pmask & ~low
+                        bits ^= low
+            adjacency = self.adjacency
+            cached = True
+            bits = mask
+            while bits:
+                low = bits & -bits
+                i = low.bit_length() - 1
+                bits ^= low
+                if adjacency[i] & mask & ~low != app[i]:
+                    cached = False
+                    break
+            self._canonical[mask] = cached
+        return cached
+
+    def partitions(self, mask: int) -> Tuple[Tuple[int, int], ...]:
+        """Ordered binary partitions (left, right) of *mask*, both sides
+        connected, in the enumeration order of the original submask loop."""
+        cached = self._partitions.get(mask)
+        if cached is None:
+            pairs = []
+            connected = self.connected
+            submask = (mask - 1) & mask
+            while submask:
+                other = mask ^ submask
+                if other and connected(submask) and connected(other):
+                    pairs.append((submask, other))
+                submask = (submask - 1) & mask
+            cached = tuple(pairs)
+            self._partitions[mask] = cached
+        return cached
 
 
 def _leaf_count(node: EquivalenceNode) -> int:
@@ -177,6 +336,7 @@ class DagBuilder:
         max_block_relations: int = 14,
         prune_unreferenced_columns: bool = True,
         memoize: bool = True,
+        session: Optional["SessionCache"] = None,
     ) -> None:
         self.catalog = catalog
         self.cost_model = cost_model
@@ -216,6 +376,30 @@ class DagBuilder:
         #: ``sorted(..., key=str)`` in the builder and the subsumption pass;
         #: pure caching, so it is active in the reference builder too).
         self._pred_str: Dict[Predicate, str] = {}
+        #: Catalog-lifetime fragment cache (:mod:`repro.service.session`),
+        #: consulted *before* the per-build memos above so warm rebuilds of
+        #: overlapping batches skip scan/join costing, property derivation,
+        #: and — via join recipes — whole partition enumerations.  ``None``
+        #: keeps the builder per-build only; the reference builder never uses
+        #: a session (it is the oracle the session path is checked against).
+        if session is not None:
+            if not memoize:
+                raise ValueError("the reference builder (memoize=False) cannot use a session cache")
+            if session.catalog is not catalog:
+                raise ValueError("session cache is bound to a different catalog")
+            if session.cost_model is not cost_model:
+                raise ValueError("session cache is bound to a different cost model")
+        self._session = session
+        # Per-build session annotations, (re)initialized in :meth:`build`:
+        # equivalence-node id -> interned canonical-key id / properties id /
+        # relation-dependency id, interned-key id -> node, and the per-table
+        # prune-tag cache.  See :meth:`_register_node`.
+        self._node_kid: Dict[int, int] = {}
+        self._node_pid: Dict[int, int] = {}
+        self._node_deps: Dict[int, int] = {}
+        self._kid_node: Dict[int, EquivalenceNode] = {}
+        self._table_tag_cache: Dict[str, Tuple[Optional[frozenset], int]] = {}
+        self._build_deps_id = 0 if session is None else session.empty_deps_id
 
     def _pred_key(self, predicate: Predicate) -> str:
         """Cached ``str(predicate)`` for deterministic predicate sorting."""
@@ -226,6 +410,95 @@ class DagBuilder:
         return key
 
     # ------------------------------------------------------------------
+    # Session-cache plumbing (no-ops unless a SessionCache is attached)
+    # ------------------------------------------------------------------
+    def _register_node(
+        self, node: EquivalenceNode, deps_id: int, kid: Optional[int] = None
+    ) -> None:
+        """Annotate *node* with its session ids (key, properties, deps).
+
+        Every equivalence node except the pseudo-root passes through here
+        exactly once, at creation; the annotations are what lets the join
+        caches key on stable canonical ids instead of per-build node ids.
+        """
+        session = self._session
+        node_id = node.id
+        if node_id in self._node_kid:
+            return
+        if kid is None:
+            kid = session.key_id(node.key)
+        self._node_kid[node_id] = kid
+        self._node_pid[node_id] = session.props_id(node.properties)
+        self._node_deps[node_id] = deps_id
+        self._kid_node.setdefault(kid, node)
+        self._build_deps_id = session.union_deps(self._build_deps_id, deps_id)
+
+    def _leaf_tag_deps(self, table: str) -> Tuple[Optional[frozenset], int]:
+        """Prune tag and deps id of base/scan nodes over *table*.
+
+        The tag — the batch-referenced subset of the table's column names —
+        is what scan output properties depend on besides the scan key (early
+        projection, :meth:`_prune_columns`), so it is part of the scan-cache
+        key.  ``None`` marks a pruning-disabled build, keeping it keyed
+        apart from a pruning build in which the table merely has no
+        referenced columns.  The deps set is the invalidation anchor:
+        ``{table}``.
+        """
+        cached = self._table_tag_cache.get(table)
+        if cached is None:
+            referenced = self._referenced_columns
+            if referenced is None:
+                tag: Optional[frozenset] = None
+            else:
+                names = self.catalog.table(table).column_names()
+                tag = frozenset(name for name in names if name in referenced)
+            deps_id = self._session.deps_id(frozenset((table.lower(),)))
+            cached = (tag, deps_id)
+            self._table_tag_cache[table] = cached
+        return cached
+
+    def _derived_cached(self, cache_key: tuple, deps_id: int, compute):
+        """Session-cached ``(properties, operation cost)`` of a derived node.
+
+        *compute* is called on a miss and must return the pair; it is the
+        single definition of the computation, shared with the sessionless
+        path by the callers.
+        """
+        session = self._session
+        entry = session.derived.get(cache_key)
+        if entry is not None:
+            session.stats.hits += 1
+            return entry[0], entry[1]
+        session.stats.misses += 1
+        props, total = compute()
+        session.derived[cache_key] = (props, total, deps_id)
+        return props, total
+
+    def session_deps(self) -> frozenset:
+        """Base relations read by the last build (plan-cache invalidation)."""
+        if self._session is None:
+            return frozenset()
+        return self._session.deps_of(self._build_deps_id)
+
+    def _implies_cached(
+        self, stronger: FrozenSet[Predicate], weaker: FrozenSet[Predicate]
+    ) -> bool:
+        """Session-cached predicate implication (used by the subsumption pass).
+
+        Implication is pure predicate logic — catalog-independent — so the
+        cache entries are never invalidated.
+        """
+        session = self._session
+        if session is None:
+            return implies(and_(*stronger), and_(*weaker))
+        key = (stronger, weaker)
+        cached = session.implications.get(key)
+        if cached is None:
+            cached = implies(and_(*stronger), and_(*weaker))
+            session.implications[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def build(self, queries: Sequence[Query]) -> Dag:
@@ -234,6 +507,17 @@ class DagBuilder:
             raise ValueError("cannot build a DAG for an empty batch of queries")
         if self.prune_unreferenced_columns:
             self._referenced_columns = _referenced_column_names(q.expression for q in queries)
+        if self._session is not None:
+            # One validation point per build: evict fragments invalidated by
+            # catalog changes now, then trust every cache hit below.
+            self._session.sync()
+            self._session.stats.builds += 1
+            self._node_kid = {}
+            self._node_pid = {}
+            self._node_deps = {}
+            self._kid_node = {}
+            self._table_tag_cache = {}
+            self._build_deps_id = self._session.empty_deps_id
         roots: List[EquivalenceNode] = []
         for query in queries:
             roots.append(self.build_expression(query.expression))
@@ -276,11 +560,31 @@ class DagBuilder:
     ) -> EquivalenceNode:
         """Equivalence node for scanning *table* with pushed-down *predicates*."""
         stored = self.stored_table(table, alias)
-        predicate = and_(*predicates) if predicates else None
         key = ("scan", table, alias, frozenset(predicates))
         existing = self.dag.find(key)
         if existing is not None:
             return existing
+        session = self._session
+        if session is not None:
+            tag, deps_id = self._leaf_tag_deps(table)
+            kid = session.key_id(key)
+            # The predicate *order* is part of the cache key: ``and_`` folds
+            # conjuncts (and the estimator folds selectivities) in call
+            # order, and the entry must return exactly what this call would
+            # compute.
+            cache_key = (kid, tuple(predicates), tag)
+            entry = session.scans.get(cache_key)
+            if entry is not None:
+                session.stats.hits += 1
+                output, label, operator, total = entry[0], entry[1], entry[2], entry[3]
+                node = self.dag.equivalence(
+                    key, output, label, base_table=table, scan_alias=alias
+                )
+                self._register_node(node, deps_id, kid)
+                self.dag.add_operation(node, operator, [stored], total)
+                return node
+            session.stats.misses += 1
+        predicate = and_(*predicates) if predicates else None
         output = self._prune_columns(self.estimator.apply_predicate(stored.properties, predicate))
         label = f"scan({alias})" if predicate is None else f"σ[{predicate}]({alias})"
         node = self.dag.equivalence(
@@ -290,6 +594,9 @@ class DagBuilder:
             self.cost_model, self.catalog, table, alias, predicate, stored.properties, output
         )
         operator = ScanOp(table, alias, predicate, algorithm=choice.name)
+        if session is not None:
+            session.scans[cache_key] = (output, label, operator, choice.total, deps_id)
+            self._register_node(node, deps_id, kid)
         self.dag.add_operation(node, operator, [stored], choice.total)
         return node
 
@@ -299,10 +606,25 @@ class DagBuilder:
         existing = self.dag.find(key)
         if existing is not None:
             return existing
-        props = self.estimator.base_properties(table, alias)
-        return self.dag.equivalence(
+        session = self._session
+        if session is None:
+            props = self.estimator.base_properties(table, alias)
+        else:
+            _, deps_id = self._leaf_tag_deps(table)
+            entry = session.base_props.get((table, alias))
+            if entry is not None:
+                session.stats.hits += 1
+                props = entry[0]
+            else:
+                session.stats.misses += 1
+                props = self.estimator.base_properties(table, alias)
+                session.base_props[(table, alias)] = (props, deps_id)
+        node = self.dag.equivalence(
             key, props, f"table({alias})", is_base=True, base_table=table, scan_alias=alias
         )
+        if session is not None:
+            self._register_node(node, deps_id)
+        return node
 
     def _prune_columns(self, props: LogicalProperties) -> LogicalProperties:
         """Keep only columns referenced somewhere in the batch (early projection).
@@ -334,11 +656,23 @@ class DagBuilder:
         existing = self.dag.find(key)
         if existing is not None:
             return existing
-        output = self.estimator.apply_predicate(child.properties, predicate)
+        def compute() -> Tuple[LogicalProperties, float]:
+            output = self.estimator.apply_predicate(child.properties, predicate)
+            return output, alg.filter_cost(self.cost_model, child.rows, output.rows).total
+
+        session = self._session
+        if session is not None:
+            deps_id = self._node_deps[child.id]
+            output, total = self._derived_cached(
+                ("select", self._node_pid[child.id], tuple(predicates)), deps_id, compute
+            )
+        else:
+            output, total = compute()
         node = self.dag.equivalence(key, output, f"σ[{predicate}]({child.label})")
-        cost = alg.filter_cost(self.cost_model, child.rows, output.rows)
+        if session is not None:
+            self._register_node(node, deps_id)
         self.dag.add_operation(
-            node, SelectOp(predicate), [child], cost.total, is_subsumption=is_subsumption
+            node, SelectOp(predicate), [child], total, is_subsumption=is_subsumption
         )
         return node
 
@@ -347,10 +681,22 @@ class DagBuilder:
         existing = self.dag.find(key)
         if existing is not None:
             return existing
-        output = self.estimator.project(child.properties, expression.columns)
+        def compute() -> Tuple[LogicalProperties, float]:
+            output = self.estimator.project(child.properties, expression.columns)
+            return output, alg.project_cost(self.cost_model, child.rows).total
+
+        session = self._session
+        if session is not None:
+            deps_id = self._node_deps[child.id]
+            output, total = self._derived_cached(
+                ("project", self._node_pid[child.id], expression.columns), deps_id, compute
+            )
+        else:
+            output, total = compute()
         node = self.dag.equivalence(key, output, f"π({child.label})")
-        cost = alg.project_cost(self.cost_model, child.rows)
-        self.dag.add_operation(node, ProjectOp(expression.columns), [child], cost.total)
+        if session is not None:
+            self._register_node(node, deps_id)
+        self.dag.add_operation(node, ProjectOp(expression.columns), [child], total)
         return node
 
     def _build_aggregate(self, expression: Aggregate, child: EquivalenceNode) -> EquivalenceNode:
@@ -371,13 +717,30 @@ class DagBuilder:
         existing = self.dag.find(key)
         if existing is not None:
             return existing
-        output = self.estimator.aggregate(child.properties, group_by, aggregates, output_alias)
+        def compute() -> Tuple[LogicalProperties, float]:
+            output = self.estimator.aggregate(child.properties, group_by, aggregates, output_alias)
+            return output, alg.choose_aggregate(
+                self.cost_model, child.properties, group_by, output.rows
+            ).total
+
+        session = self._session
+        if session is not None:
+            deps_id = self._node_deps[child.id]
+            kid = session.key_id(key)
+            # The key id covers group-by/aggregate tuples and the alias; the
+            # child's properties identity covers everything upstream.
+            output, total = self._derived_cached(
+                ("agg", self._node_pid[child.id], kid), deps_id, compute
+            )
+        else:
+            output, total = compute()
         group_desc = ", ".join(c.column for c in group_by) or "()"
         node = self.dag.equivalence(key, output, f"γ[{group_desc}]({child.label})")
-        choice = alg.choose_aggregate(self.cost_model, child.properties, group_by, output.rows)
+        if session is not None:
+            self._register_node(node, deps_id, kid)
         operator = AggregateOp(tuple(group_by), tuple(aggregates), output_alias)
         self.dag.add_operation(
-            node, operator, [child], choice.total, is_subsumption=is_subsumption
+            node, operator, [child], total, is_subsumption=is_subsumption
         )
         return node
 
@@ -437,6 +800,16 @@ class DagBuilder:
         if existing is not None:
             return existing
         node = self.dag.equivalence(key, output, f"apply({outer.label})")
+        if self._session is not None:
+            # Nested-apply costing is recomputed per build (the nested
+            # workloads are small); registration keeps the node usable as a
+            # join member and folds its relations into the build's deps.
+            self._register_node(
+                node,
+                self._session.union_deps(
+                    self._node_deps[outer.id], self._node_deps[invariant.id]
+                ),
+            )
         per_invocation_cpu = self.cost_model.cpu(0, matches_per_probe).total
         local_cost = invocations * per_invocation_cpu + self.cost_model.cpu(0, outer.rows).total
         operator = NestedApplyOp(
@@ -506,6 +879,8 @@ class DagBuilder:
         if existing is not None:
             return existing
         node = self.dag.equivalence(key, child.properties, f"indexed[{column}]({child.label})")
+        if self._session is not None:
+            self._register_node(node, self._node_deps[child.id])
         build_cost = self.cost_model.index_build_cost(child.rows, child.tuple_width)
         self.dag.add_operation(node, IndexBuildOp(column), [child], build_cost.total)
         node.reuse_cost = self.cost_model.index_probe_cost(
@@ -656,100 +1031,146 @@ class DagBuilder:
             adjacency[a] |= 1 << b
             adjacency[b] |= 1 << a
 
-        connectivity: Dict[int, bool] = {}
-
-        def connected(mask: int) -> bool:
-            # Memoized per block: partition enumeration re-tests the same
-            # sub-masks for every superset they appear under.
-            cached = connectivity.get(mask)
-            if cached is not None:
-                return cached
-            start = mask & -mask
-            seen = start
-            frontier = start
-            while frontier:
-                reachable = 0
-                bits = frontier
-                while bits:
-                    low = bits & -bits
-                    reachable |= adjacency[low.bit_length() - 1]
-                    bits ^= low
-                new = reachable & mask & ~seen
-                if not new:
-                    break
-                seen |= new
-                frontier = new
-            result = seen == mask
-            connectivity[mask] = result
-            return result
-
-        def applicable(mask: int) -> FrozenSet[Predicate]:
-            return frozenset(p for pmask, p in pred_masks if pmask and (pmask & mask) == pmask)
-
-        def enumeration_is_canonical(mask: int) -> bool:
-            """True iff the partition enumeration of *mask* is a pure function
-            of its equivalence key: the block adjacency restricted to *mask*
-            must equal the adjacency induced by the predicates applicable
-            within *mask* (which are part of the key).  Artificial
-            cross-product edges and edges contributed by predicates spanning
-            aliases outside *mask* break the equality — those sub-sets must be
-            re-enumerated per block."""
-            app = [0] * n
-            for pmask, _ in pred_masks:
-                if pmask and (pmask & mask) == pmask:
-                    bits = pmask
-                    while bits:
-                        low = bits & -bits
-                        app[low.bit_length() - 1] |= pmask & ~low
-                        bits ^= low
-            bits = mask
-            while bits:
-                low = bits & -bits
-                i = low.bit_length() - 1
-                bits ^= low
-                if adjacency[i] & mask & ~low != app[i]:
-                    return False
-            return True
+        # Connectivity, applicability, canonicality and partition enumeration
+        # all depend only on the adjacency and predicate bitmasks — one
+        # shared (and, with a session, catalog-lifetime) _BlockShape serves
+        # every block with the same shape.
+        session = self._session
+        shape_key = (n, tuple(adjacency), tuple(pmask for pmask, _ in pred_masks))
+        shape: Optional[_BlockShape] = None
+        if session is not None:
+            shape = session.block_shapes.get(shape_key)
+        if shape is None:
+            shape = _BlockShape(*shape_key)
+            if session is not None:
+                session.block_shapes[shape_key] = shape
 
         nodes_by_mask: Dict[int, EquivalenceNode] = {}
         for i, alias in enumerate(order):
             nodes_by_mask[1 << i] = leaf_nodes[alias]
-
         full_mask = (1 << n) - 1
-        subsets = [m for m in range(3, full_mask + 1) if bin(m).count("1") >= 2 and connected(m)]
-        subsets.sort(key=lambda m: bin(m).count("1"))
+
+        # The canonical identity of every sub-set — equivalence key,
+        # applicable predicates, interned key id — is a pure function of the
+        # ordered leaf keys and block predicates, so it too survives across
+        # builds (filled lazily the first time each block shape + leaf
+        # combination is expanded).
+        mask_identity: Optional[Dict[int, tuple]] = None
+        if session is not None:
+            block_sig = (
+                shape_key,
+                tuple(self._node_kid[leaf_nodes[a].id] for a in order),
+                tuple(p for _, p in pred_masks),
+            )
+            mask_identity = session.block_keys.get(block_sig)
+            if mask_identity is None:
+                mask_identity = {}
+                session.block_keys[block_sig] = mask_identity
 
         expanded = self._expanded_joins
-        for mask in subsets:
-            predicates = applicable(mask)
-            member_keys = frozenset(nodes_by_mask[1 << i].key for i in range(n) if mask & (1 << i))
-            key = ("join", member_keys, predicates)
+        for mask in shape.subsets:
+            kid = deps_id = None
+            identity = mask_identity.get(mask) if mask_identity is not None else None
+            if identity is None:
+                predicates = frozenset(pred_masks[i][1] for i in shape.applicable_indices(mask))
+                member_keys = frozenset(
+                    nodes_by_mask[1 << i].key for i in range(n) if mask & (1 << i)
+                )
+                key = ("join", member_keys, predicates)
+                if mask_identity is not None:
+                    kid = session.key_id(key)
+                    mask_identity[mask] = (key, predicates, kid)
+            else:
+                key, predicates, kid = identity
+            canonical = shape.canonical(mask) if expanded is not None else False
             node = self.dag.find(key)
-            if node is None:
-                props = self._join_properties(mask, nodes_by_mask, predicates, n)
+            fresh = node is None
+            if fresh:
+                if session is not None:
+                    members = [nodes_by_mask[1 << i] for i in range(n) if mask & (1 << i)]
+                    deps_id = self._node_deps[members[0].id]
+                    for member in members[1:]:
+                        deps_id = session.union_deps(deps_id, self._node_deps[member.id])
+                    # Properties are keyed on the ordered member properties —
+                    # the row estimate is a float fold over the members in
+                    # block-alias order, so two blocks listing the same
+                    # sub-set in different orders cache separately.
+                    prop_key = (kid, tuple(self._node_pid[m.id] for m in members))
+                    entry = session.join_props.get(prop_key)
+                    if entry is not None:
+                        session.stats.hits += 1
+                        props = entry[0]
+                    else:
+                        session.stats.misses += 1
+                        props = self._join_properties(mask, nodes_by_mask, predicates, n)
+                        session.join_props[prop_key] = (props, deps_id)
+                else:
+                    props = self._join_properties(mask, nodes_by_mask, predicates, n)
                 labels = "⋈".join(order[i] for i in range(n) if mask & (1 << i))
                 node = self.dag.equivalence(key, props, labels)
-            elif (
-                expanded is not None
-                and node.id in expanded
-                and enumeration_is_canonical(mask)
-            ):
+                if session is not None:
+                    self._register_node(node, deps_id, kid)
+            elif expanded is not None and node.id in expanded and canonical:
                 # The node's full, key-determined operation set is already in
                 # place (it was marked only after a canonical enumeration);
                 # this block's enumeration would re-derive exactly that set.
                 nodes_by_mask[mask] = node
                 continue
             nodes_by_mask[mask] = node
+            record: Optional[list] = None
+            if session is not None and canonical:
+                recipe = session.join_recipes.get((kid, self._node_pid[node.id]))
+                if recipe is not None and self._replay_recipe(node, recipe[0]):
+                    session.stats.hits += 1
+                    expanded.add(node.id)
+                    continue
+                if fresh:
+                    # Record only on fresh nodes: their per-build join-op memo
+                    # is necessarily empty, so every partition below really
+                    # computes (or cache-fetches) its outcome and the recipe
+                    # is the complete canonical operation set.
+                    record = []
             # Enumerate ordered binary partitions (left, right).
-            submask = (mask - 1) & mask
-            while submask:
-                other = mask ^ submask
-                if other and connected(submask) and connected(other):
-                    self._add_join_operation(node, nodes_by_mask[submask], nodes_by_mask[other], predicates)
-                submask = (submask - 1) & mask
-            if expanded is not None and enumeration_is_canonical(mask):
+            for submask, other in shape.partitions(mask):
+                self._add_join_operation(
+                    node, nodes_by_mask[submask], nodes_by_mask[other], predicates, record
+                )
+            if record is not None:
+                session.join_recipes[(kid, self._node_pid[node.id])] = (tuple(record), deps_id)
+            if expanded is not None and canonical:
                 expanded.add(node.id)
         return nodes_by_mask[full_mask]
+
+    def _replay_recipe(self, node: EquivalenceNode, entries: tuple) -> bool:
+        """Replay a cached canonical partition enumeration onto *node*.
+
+        Validates first, replays second: every referenced child must exist in
+        this build and carry the *same properties object* as at record time
+        (otherwise a live enumeration would not reproduce the recorded costs
+        bit-for-bit — e.g. right after a targeted invalidation recomputed a
+        leaf).  Returns ``False`` without side effects when validation fails.
+        """
+        kid_node = self._kid_node
+        node_pid = self._node_pid
+        resolved = []
+        for lkid, lpid, rkid, rpid, operator, total in entries:
+            left = kid_node.get(lkid)
+            right = kid_node.get(rkid)
+            if left is None or right is None:
+                return False
+            if node_pid[left.id] != lpid or node_pid[right.id] != rpid:
+                return False
+            resolved.append((left, right, operator, total))
+        memo = self._join_op_memo
+        add_operation = self.dag.add_operation
+        node_id = node.id
+        for left, right, operator, total in resolved:
+            triple = (node_id, left.id, right.id)
+            if triple in memo:
+                continue
+            memo.add(triple)
+            add_operation(node, operator, [left, right], total)
+        return True
 
     @staticmethod
     def _components(n: int, adjacency: List[int]) -> List[int]:
@@ -801,6 +1222,7 @@ class DagBuilder:
         left: EquivalenceNode,
         right: EquivalenceNode,
         all_predicates: FrozenSet[Predicate],
+        record: Optional[list] = None,
     ) -> None:
         # ``all_predicates`` is always the result node's key predicate set, so
         # the triple determines the connecting predicates and the
@@ -812,6 +1234,34 @@ class DagBuilder:
             if triple in memo:
                 return
             memo.add(triple)
+        session = self._session
+        if session is not None:
+            node_kid = self._node_kid
+            node_pid = self._node_pid
+            # Key and properties identities of all three nodes: the key
+            # triple determines the connecting predicates, the properties
+            # determine the ``choose_join`` costs.
+            cache_key = (
+                node_kid[node.id],
+                node_kid[left.id],
+                node_kid[right.id],
+                node_pid[node.id],
+                node_pid[left.id],
+                node_pid[right.id],
+            )
+            entry = session.join_ops.get(cache_key)
+            if entry is not None:
+                session.stats.hits += 1
+                operator, total = entry[0], entry[1]
+                if record is not None:
+                    record.append(
+                        (node_kid[left.id], node_pid[left.id],
+                         node_kid[right.id], node_pid[right.id],
+                         operator, total)
+                    )
+                self.dag.add_operation(node, operator, [left, right], total)
+                return
+            session.stats.misses += 1
         left_preds = self._applicable_to(left, all_predicates)
         right_preds = self._applicable_to(right, all_predicates)
         connecting = tuple(sorted(all_predicates - left_preds - right_preds, key=self._pred_key))
@@ -828,6 +1278,16 @@ class DagBuilder:
             right_alias=right.scan_alias,
         )
         operator = JoinOp(connecting, algorithm=choice.name)
+        if session is not None:
+            session.join_ops[cache_key] = (
+                operator, choice.total, self._node_deps[node.id]
+            )
+            if record is not None:
+                record.append(
+                    (node_kid[left.id], node_pid[left.id],
+                     node_kid[right.id], node_pid[right.id],
+                     operator, choice.total)
+                )
         self.dag.add_operation(node, operator, [left, right], choice.total)
 
     def _applicable_to(self, node: EquivalenceNode, predicates: FrozenSet[Predicate]) -> FrozenSet[Predicate]:

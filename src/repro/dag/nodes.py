@@ -180,15 +180,18 @@ class OperationNode:
         local_cost: float,
         child_multipliers: Optional[Tuple[float, ...]] = None,
         is_subsumption: bool = False,
+        signature: Optional[tuple] = None,
     ) -> None:
         self.id = node_id
         self.operator = operator
         self.children = children
-        self.child_multipliers = child_multipliers or tuple(1.0 for _ in children)
+        self.child_multipliers = child_multipliers or (1.0,) * len(children)
         self.equivalence = equivalence
         self.local_cost = float(local_cost)
         self.is_subsumption = is_subsumption
-        self.signature = (operator, tuple(c.id for c in children))
+        # ``Dag.add_operation`` already computed the signature for its
+        # duplicate check; accept it instead of rebuilding the child-id tuple.
+        self.signature = signature or (operator, tuple(c.id for c in children))
 
     def __repr__(self) -> str:
         kids = ",".join(str(c.id) for c in self.children)
@@ -346,6 +349,7 @@ class Dag:
             local_cost,
             multipliers,
             is_subsumption,
+            signature,
         )
         self._operations.append(operation)
         equivalence.operations.append(operation)

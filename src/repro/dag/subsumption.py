@@ -27,7 +27,14 @@ The pass reuses the builder's memo tables (see :mod:`repro.dag.builder`):
 weak join nodes are memoized on their weakened selections, and the join-space
 re-expansion they trigger hash-conses every sub-join it shares with the
 original queries or with other weak-join ranges, which is what keeps this
-pass cheap on the scale-up workloads (70+ heavily overlapping ranges).
+pass cheap on the scale-up workloads (70+ heavily overlapping ranges).  When
+the builder carries a catalog-lifetime session cache
+(:mod:`repro.service.session`), the pass also reuses state across builds:
+predicate-implication results and weak-join build plans are pure predicate
+structure (never invalidated), while the scans and join expansions the weak
+joins trigger resolve through the session's catalog-dependent fragment
+caches.  The reference builder (``memoize=False``) runs the pass with none
+of these tables and remains the byte-identity oracle.
 """
 
 from __future__ import annotations
@@ -114,7 +121,7 @@ def _selection_subsumption(builder: "DagBuilder") -> int:
                     continue
                 if not weaker_preds:
                     continue
-                if implies(and_(*stronger_preds), and_(*weaker_preds)):
+                if builder._implies_cached(stronger_preds, weaker_preds):
                     # Sorted: the conjunct order is persisted in the SelectOp
                     # (and printed by plan explains), and iterating the
                     # frozenset directly made it vary with PYTHONHASHSEED.
@@ -316,7 +323,11 @@ def _weak_join_node(
     pure function of them, so a repeat group resolves without re-deriving the
     weak scans or re-expanding the join space (the expansion itself also
     hash-conses its sub-joins, which is what makes the 70-odd overlapping
-    weak-join ranges of the scale-up workloads cheap).
+    weak-join ranges of the scale-up workloads cheap).  With a session cache
+    attached, the sorted *build plan* (ordered weak scans plus ordered join
+    predicates — pure structure, catalog-independent) survives across builds;
+    the scans and the expansion itself then resolve through the session's
+    scan/recipe caches.
     """
     memo = builder._weak_join_memo
     memo_key = None
@@ -324,19 +335,28 @@ def _weak_join_node(
         memo_key = (frozenset(weak_preds.items()), join_preds)
         if memo_key in memo:
             return memo[memo_key]
+    session = builder._session
+    plan = session.weak_joins.get(memo_key) if session is not None else None
+    if plan is None:
+        plan = (
+            tuple(
+                (table, alias, tuple(sorted(predicates, key=builder._pred_key)))
+                for (table, alias), predicates in sorted(weak_preds.items())
+            ),
+            tuple(sorted(join_preds, key=builder._pred_key)),
+        )
+        if session is not None:
+            session.weak_joins[memo_key] = plan
+    leaf_specs, ordered_joins = plan
     aliases = []
     leaf_nodes: Dict[str, EquivalenceNode] = {}
-    for (table, alias), predicates in sorted(weak_preds.items()):
+    for table, alias, predicates in leaf_specs:
         aliases.append(alias)
-        leaf_nodes[alias] = builder.scan_equivalence(
-            table, alias, sorted(predicates, key=builder._pred_key)
-        )
+        leaf_nodes[alias] = builder.scan_equivalence(table, alias, predicates)
     if len(aliases) < 2:
         node = None
     else:
-        node = builder._expand_join_space(
-            aliases, leaf_nodes, sorted(join_preds, key=builder._pred_key)
-        )
+        node = builder._expand_join_space(aliases, leaf_nodes, list(ordered_joins))
     if memo is not None:
         memo[memo_key] = node
     return node

@@ -70,6 +70,18 @@ and on the fig8 batch BQ5 from ~13 ms to ~3 ms — all with byte-identical
 plan costs, materialized sets, and counters for all four algorithms on every
 tier-1 workload and unchanged Figure 10 counters (CQ5: 2913 propagations,
 172 benefit recomputations).
+
+**Reference twins.**  Each dense kernel keeps its original object-graph
+formulation alive as the oracle of the differential suite
+(``tests/test_differential.py``): the Volcano-SH decision pass is mirrored
+by :func:`repro.optimizer.volcano_sh._volcano_sh_reference` (which is also
+the pass used by Volcano-RU's from-scratch reference
+``_run_order_reference``), the incremental greedy pruning by
+:func:`repro.optimizer.greedy._prune_unused_reference`, and the cost
+kernels by the recurrence in :mod:`repro.optimizer.costing`.  The builder
+side has the same structure: ``DagBuilder(..., memoize=False)`` (exposed as
+``MQOptimizer._build_reference``) is the memo-free construction oracle; see
+:mod:`repro.dag.builder`.
 """
 
 from __future__ import annotations

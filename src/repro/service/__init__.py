@@ -1,0 +1,18 @@
+"""Long-lived optimizer service layer.
+
+One-shot reproduction runs (:func:`repro.api.optimize`) rebuild every AND-OR
+DAG from a cold start.  A production multi-query optimizer — the recurring
+batch workloads Roy et al. motivate MQO with — re-optimizes heavily
+overlapping batches against the *same* catalog over and over.  This package
+provides the state that makes those warm rebuilds cheap:
+
+* :class:`repro.service.session.SessionCache` — the catalog-lifetime fragment
+  cache consulted by :class:`repro.dag.builder.DagBuilder`;
+* :class:`repro.service.session.OptimizerSession` — the public façade: a plan
+  cache over whole batches plus ``build_dag``/``optimize`` entry points that
+  thread the fragment cache through every build.
+"""
+
+from repro.service.session import OptimizerSession, SessionCache
+
+__all__ = ["OptimizerSession", "SessionCache"]

@@ -1,0 +1,487 @@
+"""Catalog-lifetime plan cache and warm-rebuild sessions.
+
+The PR 4 builder memo tables are *per build*: a fresh
+:class:`~repro.dag.builder.DagBuilder` starts cold, so a service that
+re-optimizes overlapping batches (the recurring-workload scenario of the
+paper) pays the full DAG-expansion cost on every request.  This module keeps
+the memoizable part of that work alive across builds:
+
+:class:`SessionCache` — the **fragment cache** consulted by the builder
+before its per-build memos.  Entries are keyed on *canonical equivalence
+keys* (the same keys that unify sub-expressions inside one DAG, so they are
+stable across builds), interned to dense ids, plus whatever order-sensitive
+inputs the cached computation consumed:
+
+* base-table properties per ``(table, alias)``;
+* scan-choice entries — derived
+  :class:`~repro.cost.estimation.LogicalProperties`, chosen access path and
+  cost — per scan key, pushed-down predicate order, and *prune tag* (the
+  batch-referenced columns of the table, which drive early projection);
+* derived select/project/aggregate entries (properties + operation cost)
+  keyed on the **identity** of the child's properties object;
+* join :class:`~repro.cost.estimation.LogicalProperties` per join key and
+  ordered member properties;
+* join-operation cost triples — the
+  :func:`~repro.cost.algorithms.choose_join` outcome per
+  ``(result, left, right)`` key triple;
+* **join recipes**: for a join node whose partition enumeration is a pure
+  function of its key (the PR 4 canonical-adjacency condition), the full
+  ordered operation list, so a warm rebuild replays it without enumerating
+  partitions or re-costing anything;
+* weak-join resolution and predicate-implication results for the subsumption
+  pass (pure predicate logic, catalog-independent, never evicted).
+
+Identity-keying is what makes warm rebuilds *byte-identical* rather than
+merely close: float folds in the estimator are evaluation-order sensitive, so
+a cached value is only reused when its inputs are the very objects it was
+computed from.  Warm rebuilds reuse cached properties objects bottom-up, so
+the identities match all the way to the root; after an invalidation the
+affected leaves are recomputed as fresh objects and every dependent fragment
+misses automatically.
+
+**Invalidation.**  Every catalog-dependent entry carries the set of base
+relations it reads.  :meth:`SessionCache.sync` compares the catalog's epochs
+(:attr:`~repro.catalog.catalog.Catalog.statistics_epoch` /
+:attr:`~repro.catalog.catalog.Catalog.schema_epoch`) against the last
+synchronized state: a statistics-only change evicts exactly the entries
+depending on a relation whose
+:meth:`~repro.catalog.catalog.Catalog.stats_version` moved, a schema change
+clears everything.  Validation happens once per build — never per cache hit.
+
+:class:`OptimizerSession` — the **service façade**: it owns a
+:class:`SessionCache`, adds a batch-level plan cache (batch → built DAG and
+per-algorithm :class:`~repro.optimizer.report.OptimizationResult`), and
+exposes ``build_dag`` / ``optimize`` / ``optimize_all`` mirrors of
+:class:`~repro.api.MQOptimizer`.
+
+Correctness is anchored the same way as every other fast path in this repo:
+the session-backed builder must produce DAGs byte-identical
+(``tests.generators.dag_fingerprint``) to the memo-free reference builder
+(``DagBuilder(..., memoize=False)``) on cold builds, warm rebuilds, shifted
+overlapping batches, and post-invalidation rebuilds —
+``tests/test_session_cache.py`` enforces all four.
+
+Sessions are not thread-safe; use one session per worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.api import Algorithm, MQOptimizer, PAPER_ALGORITHMS
+from repro.catalog.catalog import Catalog
+from repro.cost.estimation import LogicalProperties
+from repro.cost.model import CostModel, DEFAULT_COST_MODEL
+from repro.dag.builder import DagBuilder, Query
+from repro.dag.nodes import Dag
+from repro.optimizer import GreedyOptions, OptimizationResult
+
+
+class _DepsInterner:
+    """Intern relation-dependency frozensets to ids, with memoized unions.
+
+    The builder annotates every equivalence node with the set of base
+    relations under it, recomputed as a union over children for every node of
+    every build.  Interning turns those frozensets into ints and makes the
+    union of two already-seen sets a single dict lookup.
+    """
+
+    __slots__ = ("_ids", "_values", "_unions")
+
+    def __init__(self) -> None:
+        self._ids: Dict[FrozenSet[str], int] = {}
+        self._values: List[FrozenSet[str]] = []
+        self._unions: Dict[Tuple[int, int], int] = {}
+
+    def intern(self, value: FrozenSet[str]) -> int:
+        ident = self._ids.get(value)
+        if ident is None:
+            ident = len(self._values)
+            self._ids[value] = ident
+            self._values.append(value)
+        return ident
+
+    def value(self, ident: int) -> FrozenSet[str]:
+        return self._values[ident]
+
+    def union(self, a: int, b: int) -> int:
+        if a == b:
+            return a
+        key = (a, b) if a < b else (b, a)
+        cached = self._unions.get(key)
+        if cached is None:
+            cached = self.intern(self._values[a] | self._values[b])
+            self._unions[key] = cached
+        return cached
+
+
+@dataclass
+class SessionCacheStats:
+    """Hit/miss/eviction counters of one :class:`SessionCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+    builds: int = 0
+    stats_invalidations: int = 0
+    schema_invalidations: int = 0
+    evicted_entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SessionCache:
+    """Catalog-lifetime fragment cache shared by successive DAG builds.
+
+    The cache is bound to one catalog and one cost model;
+    :class:`~repro.dag.builder.DagBuilder` refuses a session built against
+    different ones, because every cached value bakes their state in.  See the
+    module docstring for the entry taxonomy and the invalidation contract.
+    """
+
+    def __init__(self, catalog: Catalog, cost_model: CostModel = DEFAULT_COST_MODEL) -> None:
+        self.catalog = catalog
+        self.cost_model = cost_model
+        # Canonical equivalence keys -> dense ids (hashed once per node per
+        # build; the fragment caches below are keyed on the ids).
+        self._key_ids: Dict[Hashable, int] = {}
+        # LogicalProperties -> dense ids, by object identity (see module
+        # docstring: identity-keying is the byte-identity mechanism).  The
+        # list keeps the objects alive so ids can never be recycled.
+        self._props_ids: Dict[int, int] = {}
+        self._props_refs: List[LogicalProperties] = []
+        self._deps = _DepsInterner()
+        self.empty_deps_id = self._deps.intern(frozenset())
+        # -- fragment caches (values end with the interned deps id) ----------
+        #: (table, alias) -> (props, deps)
+        self.base_props: Dict[Tuple[str, str], tuple] = {}
+        #: (scan key id, predicate order, prune tag) ->
+        #: (props, label, ScanOp, cost, deps)
+        self.scans: Dict[tuple, tuple] = {}
+        #: ("select", child props id, predicate order) /
+        #: ("project", child props id, columns) /
+        #: ("agg", child props id, agg key id) -> (props, cost, deps)
+        self.derived: Dict[tuple, tuple] = {}
+        #: (join key id, ordered member props ids) -> (props, deps)
+        self.join_props: Dict[tuple, tuple] = {}
+        #: (result kid, left kid, right kid, result/left/right props ids) ->
+        #: (JoinOp, cost, deps)
+        self.join_ops: Dict[tuple, tuple] = {}
+        #: (join key id, result props id) -> (entries, deps); one entry is
+        #: (left kid, left props id, right kid, right props id, JoinOp,
+        #: cost), in enumeration order.
+        self.join_recipes: Dict[tuple, tuple] = {}
+        # -- catalog-independent caches (never evicted) ----------------------
+        #: (n, adjacency bitmasks, predicate bitmasks) -> _BlockShape: the
+        #: connected-subset list, applicability, canonicality, and partition
+        #: enumeration of a join block — pure combinatorics shared across
+        #: blocks and builds (see :class:`repro.dag.builder._BlockShape`).
+        self.block_shapes: Dict[tuple, object] = {}
+        #: (shape key, ordered leaf key ids, block predicates) ->
+        #: {mask: (join equivalence key, applicable predicates, key id)} —
+        #: the canonical identity of every connected sub-set of a block, a
+        #: pure function of the leaf keys and predicates (filled lazily).
+        self.block_keys: Dict[tuple, Dict[int, tuple]] = {}
+        #: weak-join memo key -> ordered build plan (sorted weak scans plus
+        #: ordered join predicates); pure predicate structure, see
+        #: :func:`repro.dag.subsumption._weak_join_node`.
+        self.weak_joins: Dict[Hashable, tuple] = {}
+        #: (stronger predicate set, weaker predicate set) -> bool
+        self.implications: Dict[Tuple[FrozenSet, FrozenSet], bool] = {}
+        # -- invalidation state ----------------------------------------------
+        self._synced_statistics_epoch = catalog.statistics_epoch
+        self._synced_schema_epoch = catalog.schema_epoch
+        self._synced_versions = catalog.stats_versions()
+        #: Bumped by every eviction (sync-driven or manual) so that holders
+        #: of derived state — the :class:`OptimizerSession` plan cache — can
+        #: notice invalidations performed directly on this object.
+        self.generation = 0
+        self.stats = SessionCacheStats()
+
+    # -- interning (used by the builder) --------------------------------------
+    def key_id(self, key: Hashable) -> int:
+        ids = self._key_ids
+        ident = ids.get(key)
+        if ident is None:
+            ident = len(ids)
+            ids[key] = ident
+        return ident
+
+    def props_id(self, props: LogicalProperties) -> int:
+        ident = self._props_ids.get(id(props))
+        if ident is None:
+            ident = len(self._props_refs)
+            self._props_ids[id(props)] = ident
+            self._props_refs.append(props)
+        return ident
+
+    def deps_id(self, deps: FrozenSet[str]) -> int:
+        return self._deps.intern(deps)
+
+    def union_deps(self, a: int, b: int) -> int:
+        return self._deps.union(a, b)
+
+    def deps_of(self, deps_id: int) -> FrozenSet[str]:
+        return self._deps.value(deps_id)
+
+    # -- invalidation ----------------------------------------------------------
+    def sync(self) -> Optional[FrozenSet[str]]:
+        """Bring the cache up to date with the catalog.
+
+        Returns the set of relations whose statistics changed since the last
+        sync (empty when nothing changed), or ``None`` when a schema change
+        forced a full wipe.  Builds must be preceded by a sync;
+        :meth:`~repro.dag.builder.DagBuilder.build` calls it itself, so
+        direct builder users get it for free and :class:`OptimizerSession`
+        merely calls it earlier to also refresh its plan cache.
+        """
+        catalog = self.catalog
+        if catalog.statistics_epoch == self._synced_statistics_epoch:
+            return frozenset()
+        if catalog.schema_epoch != self._synced_schema_epoch:
+            self.clear()
+            self.stats.schema_invalidations += 1
+            changed: Optional[FrozenSet[str]] = None
+        else:
+            versions = catalog.stats_versions()
+            synced = self._synced_versions
+            changed = frozenset(
+                name for name, version in versions.items() if synced.get(name) != version
+            )
+            self._evict(changed)
+            self.stats.stats_invalidations += 1
+        self._synced_statistics_epoch = catalog.statistics_epoch
+        self._synced_schema_epoch = catalog.schema_epoch
+        self._synced_versions = catalog.stats_versions()
+        return changed
+
+    def clear(self) -> None:
+        """Drop every catalog-dependent entry (schema-change semantics)."""
+        self.generation += 1
+        for cache in self._catalog_dependent_caches():
+            self.stats.evicted_entries += len(cache)
+            cache.clear()
+
+    def invalidate(self, table: Optional[str] = None) -> None:
+        """Manually evict entries depending on *table* (or everything)."""
+        if table is None:
+            self.clear()
+        else:
+            self._evict(frozenset((table.lower(),)))
+
+    def _catalog_dependent_caches(self) -> Tuple[dict, ...]:
+        return (
+            self.base_props,
+            self.scans,
+            self.derived,
+            self.join_props,
+            self.join_ops,
+            self.join_recipes,
+        )
+
+    def _evict(self, changed: FrozenSet[str]) -> None:
+        if not changed:
+            return
+        self.generation += 1
+        deps_value = self._deps.value
+        for cache in self._catalog_dependent_caches():
+            stale = [
+                key for key, entry in cache.items() if deps_value(entry[-1]) & changed
+            ]
+            self.stats.evicted_entries += len(stale)
+            for key in stale:
+                del cache[key]
+
+    # -- introspection ---------------------------------------------------------
+    def entry_count(self) -> int:
+        return sum(len(cache) for cache in self._catalog_dependent_caches()) + len(
+            self.weak_joins
+        ) + len(self.implications)
+
+    def snapshot(self) -> SessionCacheStats:
+        """A copy of the counters with ``entries`` filled in."""
+        stats = SessionCacheStats(**vars(self.stats))
+        stats.entries = self.entry_count()
+        return stats
+
+
+@dataclass
+class _PlanEntry:
+    """One plan-cache slot: the built DAG plus per-algorithm results."""
+
+    dag: Dag
+    deps: FrozenSet[str]
+    results: Dict[Hashable, OptimizationResult] = field(default_factory=dict)
+
+
+#: Key type of the plan cache: ((query name, expression), ...).
+BatchKey = Tuple[Tuple[str, object], ...]
+
+
+class OptimizerSession:
+    """A long-lived multi-query optimizer bound to one catalog.
+
+    Where :class:`~repro.api.MQOptimizer` rebuilds every DAG cold, a session
+    keeps two cache layers alive between calls:
+
+    * a **plan cache**: an exact batch seen before (same query names and
+      expressions, same catalog epochs) returns its previously built DAG —
+      and previously computed optimization results — outright;
+    * the :class:`SessionCache` **fragment cache**, which makes rebuilding a
+      *different but overlapping* batch cheap by reusing scan choices, join
+      costs, derived properties, and whole partition-enumeration recipes.
+
+    Both layers follow the catalog's epochs: statistics changes evict only
+    the affected relations' fragments (and the plans touching them), schema
+    changes start the session cold.  See the module docstring for the
+    invalidation contract and ``benchmarks/harness.py --warm`` for measured
+    warm-rebuild speedups.
+
+    Usage::
+
+        session = OptimizerSession(catalog)
+        result = session.optimize(batch, Algorithm.GREEDY)   # cold build
+        result = session.optimize(batch, Algorithm.GREEDY)   # plan-cache hit
+        catalog.update_statistics("orders", row_count=2_000_000)
+        result = session.optimize(batch, Algorithm.GREEDY)   # rebuilt fresh
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        enable_subsumption: bool = True,
+        enable_mqo: bool = True,
+        cache_plans: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.cost_model = cost_model
+        self.enable_subsumption = enable_subsumption
+        self.enable_mqo = enable_mqo
+        #: When ``False``, only the fragment cache is used: every call
+        #: rebuilds the DAG (warm), which is what the byte-identity tests and
+        #: the fragment-level warm-rebuild benchmarks exercise.
+        self.cache_plans = cache_plans
+        self.cache = SessionCache(catalog, cost_model)
+        self._optimizer = MQOptimizer(
+            catalog,
+            cost_model=cost_model,
+            enable_subsumption=enable_subsumption,
+            enable_mqo=enable_mqo,
+        )
+        self._plans: Dict[BatchKey, _PlanEntry] = {}
+        self._cache_generation = self.cache.generation
+        self.plan_hits = 0
+        self.plan_misses = 0
+
+    # -- plan cache ------------------------------------------------------------
+    @staticmethod
+    def _batch_key(queries: Sequence[Query]) -> BatchKey:
+        return tuple((query.name, query.expression) for query in queries)
+
+    def _sync(self) -> None:
+        if self.cache.generation != self._cache_generation:
+            # Someone invalidated the fragment cache directly (e.g.
+            # ``session.cache.invalidate(...)``): the eviction bypassed this
+            # façade, so drop every cached plan conservatively.
+            self._plans.clear()
+        changed = self.cache.sync()
+        if changed is None:
+            self._plans.clear()
+        elif changed:
+            stale = [key for key, entry in self._plans.items() if entry.deps & changed]
+            for key in stale:
+                del self._plans[key]
+        self._cache_generation = self.cache.generation
+
+    def _dag_entry(self, queries: Sequence[Query]) -> _PlanEntry:
+        self._sync()
+        key = self._batch_key(queries)
+        if self.cache_plans:
+            entry = self._plans.get(key)
+            if entry is not None:
+                self.plan_hits += 1
+                return entry
+            self.plan_misses += 1
+        builder = DagBuilder(
+            self.catalog,
+            cost_model=self.cost_model,
+            enable_subsumption=self.enable_subsumption and self.enable_mqo,
+            session=self.cache,
+        )
+        dag = builder.build(list(queries))
+        entry = _PlanEntry(dag, builder.session_deps())
+        if self.cache_plans:
+            self._plans[key] = entry
+        return entry
+
+    # -- public API ------------------------------------------------------------
+    def build_dag(self, queries: Sequence[Query]) -> Dag:
+        """Build (or fetch) the combined AND-OR DAG for *queries*.
+
+        Repeated calls with an unchanged catalog reuse cached fragments; with
+        :attr:`cache_plans` enabled an exact repeat returns the previously
+        built :class:`~repro.dag.nodes.Dag` object itself.
+        """
+        return self._dag_entry(queries).dag
+
+    def optimize(
+        self,
+        queries: Sequence[Query],
+        algorithm: Union[str, Algorithm] = Algorithm.GREEDY,
+        greedy_options: Optional[GreedyOptions] = None,
+    ) -> OptimizationResult:
+        """Optimize a batch, reusing cached DAGs and results where possible."""
+        algorithm = Algorithm.parse(algorithm)
+        entry = self._dag_entry(queries)
+        result_key = (algorithm, greedy_options)
+        if self.cache_plans:
+            cached = entry.results.get(result_key)
+            if cached is not None:
+                self.plan_hits += 1
+                return cached
+            self.plan_misses += 1
+        result = self._optimizer.optimize(
+            queries, algorithm, dag=entry.dag, greedy_options=greedy_options
+        )
+        if self.cache_plans:
+            entry.results[result_key] = result
+        return result
+
+    def optimize_all(
+        self,
+        queries: Sequence[Query],
+        algorithms: Iterable[Union[str, Algorithm]] = PAPER_ALGORITHMS,
+        greedy_options: Optional[GreedyOptions] = None,
+    ) -> Dict[str, OptimizationResult]:
+        """Run several algorithms on the (shared, possibly cached) DAG."""
+        results: Dict[str, OptimizationResult] = {}
+        for algorithm in algorithms:
+            result = self.optimize(queries, algorithm, greedy_options=greedy_options)
+            results[result.algorithm] = result
+        return results
+
+    # -- maintenance -----------------------------------------------------------
+    def invalidate(self, table: Optional[str] = None) -> None:
+        """Manually drop cached state for *table* (or the whole session)."""
+        if table is None:
+            self.cache.clear()
+            self._plans.clear()
+        else:
+            name = table.lower()
+            self.cache.invalidate(name)
+            stale = [key for key, entry in self._plans.items() if name in entry.deps]
+            for key in stale:
+                del self._plans[key]
+        # The plan cache was evicted in step with the fragment cache here, so
+        # the next _sync must not treat the generation bump as an external
+        # invalidation and wipe the surviving plans.
+        self._cache_generation = self.cache.generation
+
+    def cache_stats(self) -> SessionCacheStats:
+        """Fragment-cache counters (plan-cache hits are separate fields)."""
+        return self.cache.snapshot()

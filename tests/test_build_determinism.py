@@ -9,10 +9,11 @@ are locked down here:
   ``MQOptimizer.build_dag`` always creates one) produce byte-identical DAGs —
   node keys, properties, operation lists, costs, topological numbers.
 * **``PYTHONHASHSEED`` independence**: separate interpreter processes with
-  different hash seeds produce identical canonical fingerprints, for both the
-  memoized and the reference builder.  (PR 2 fixed the selectivity-product
-  hash-order leak in ``_join_properties``; PR 4 fixed the residual-conjunct
-  order of subsumption selections, which this test would catch regressing.)
+  different hash seeds produce identical canonical fingerprints, for the
+  memoized builder, the reference builder, and session-backed (cold and
+  warm) builds.  (PR 2 fixed the selectivity-product hash-order leak in
+  ``_join_properties``; PR 4 fixed the residual-conjunct order of
+  subsumption selections, which this test would catch regressing.)
 
 The fingerprints come from :func:`tests.generators.dag_fingerprint`, which
 sorts every frozenset by a canonical token so the serialization itself is
@@ -36,7 +37,7 @@ _SUBPROCESS_SCRIPT = """\
 import hashlib, sys
 sys.path.insert(0, "src")
 sys.path.insert(0, ".")
-from repro import MQOptimizer
+from repro import MQOptimizer, OptimizerSession
 from repro.catalog import psp_catalog
 from repro.workloads.scaleup import scaleup_queries
 from tests.generators import dag_fingerprint, random_query_workload
@@ -49,6 +50,12 @@ for seed in (0, 3, 7):
         print(seed, memoize, hashlib.sha256(fingerprint.encode()).hexdigest())
 fingerprint = dag_fingerprint(optimizer.build_dag(scaleup_queries(2)))
 print("CQ2", hashlib.sha256(fingerprint.encode()).hexdigest())
+# Session-backed cold and warm builds (the catalog-lifetime fragment cache of
+# repro.service.session) must be hash-seed independent too.
+session = OptimizerSession(optimizer.catalog, cache_plans=False)
+for label in ("session-cold", "session-warm"):
+    fingerprint = dag_fingerprint(session.build_dag(scaleup_queries(2)))
+    print(label, hashlib.sha256(fingerprint.encode()).hexdigest())
 """
 
 

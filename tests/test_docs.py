@@ -1,0 +1,37 @@
+"""Docs freshness: the README's code examples must actually run.
+
+Every fenced ``python`` block in ``README.md`` is executed in its own
+namespace (asserts included), so the documented API — the quick-start, the
+``OptimizerSession`` warm-rebuild example — can never drift from the code.
+The blocks are intentionally small and statistics-only (no data generation),
+keeping this suite a few hundred milliseconds.
+
+Runs in every CI leg, including the no-NumPy one: the examples must not
+depend on optional accelerators.
+"""
+
+import os
+import re
+
+import pytest
+
+README = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "README.md")
+
+_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def _python_blocks():
+    with open(README, encoding="utf-8") as handle:
+        text = handle.read()
+    return _BLOCK_RE.findall(text)
+
+
+def test_readme_has_python_examples():
+    assert len(_python_blocks()) >= 2, "README lost its executable examples"
+
+
+@pytest.mark.parametrize("index", range(len(_python_blocks())))
+def test_readme_python_block_runs(index, capsys):
+    block = _python_blocks()[index]
+    namespace = {"__name__": f"readme_block_{index}"}
+    exec(compile(block, f"README.md[block {index}]", "exec"), namespace)

@@ -1,0 +1,366 @@
+"""Catalog-lifetime session cache: byte-identity and invalidation.
+
+The :class:`~repro.service.session.OptimizerSession` subsystem reuses scan
+choices, join costs, derived properties, and whole partition-enumeration
+recipes across DAG builds.  Like every fast path in this repo, it is locked
+to the memo-free reference builder (``DagBuilder(..., memoize=False)``,
+exposed as ``MQOptimizer._build_reference``) via
+:func:`tests.generators.dag_fingerprint`:
+
+* cold build == reference, warm rebuild == reference (same batch);
+* shifted overlapping batches on a *shared* session == their own reference
+  (this is where identity-keying earns its keep: the same canonical key can
+  carry differently-ordered float folds in different batches);
+* post-invalidation rebuilds == a reference built against the *mutated*
+  catalog — and != the pre-mutation DAG, which is exactly the check that a
+  stale-cache bug (serving pre-mutation properties) would trip.
+
+Invalidation granularity is tested directly against the cache tables:
+statistics mutations evict only entries depending on the mutated relation,
+schema changes clear everything.
+"""
+
+import pytest
+
+from repro import Algorithm, MQOptimizer, OptimizerSession, Query, SessionCache
+from repro.catalog import psp_catalog, tpcd_catalog
+from repro.catalog.catalog import CatalogError
+from repro.catalog.schema import make_table
+from repro.dag.builder import DagBuilder
+from repro.workloads.batch import batched_queries
+from repro.workloads.scaleup import component_query, scaleup_queries
+from tests.generators import dag_fingerprint, random_query_workload
+
+
+# ---------------------------------------------------------------------------
+# Catalog epochs and statistics versioning
+# ---------------------------------------------------------------------------
+
+class TestCatalogEpochs:
+    def test_add_table_is_a_schema_change(self):
+        catalog = psp_catalog(relation_count=3)
+        stats_epoch = catalog.statistics_epoch
+        schema_epoch = catalog.schema_epoch
+        version = catalog.stats_version("psp1")
+        catalog.add_table(make_table("extra", 10, [("x", 8, 5)]))
+        assert catalog.statistics_epoch > stats_epoch
+        assert catalog.schema_epoch > schema_epoch
+        assert catalog.stats_version("extra") == 1
+        assert catalog.stats_version("psp1") == version
+
+    def test_update_statistics_is_stats_only_and_targeted(self):
+        catalog = psp_catalog(relation_count=3)
+        schema_epoch = catalog.schema_epoch
+        stats_epoch = catalog.statistics_epoch
+        before = catalog.table("psp2")
+        updated = catalog.update_statistics(
+            "psp2", row_count=123, distinct={"num": 7}, bounds={"p": (1, 2)}
+        )
+        assert catalog.schema_epoch == schema_epoch
+        assert catalog.statistics_epoch == stats_epoch + 1
+        assert catalog.stats_version("psp2") == 2  # 1 from add_table
+        assert catalog.stats_version("psp1") == 1
+        assert updated.row_count == 123
+        assert updated.column("num").distinct == 7
+        assert (updated.column("p").low, updated.column("p").high) == (1, 2)
+        # Schema is preserved: same columns, widths, indexes.
+        assert updated.column_names() == before.column_names()
+        assert updated.column("sp").width == before.column("sp").width
+        assert updated.indexes == before.indexes
+        assert catalog.table("psp2") is updated
+
+    def test_update_statistics_rejects_unknown_names(self):
+        catalog = psp_catalog(relation_count=2)
+        with pytest.raises(CatalogError):
+            catalog.update_statistics("nope", row_count=1)
+        with pytest.raises(CatalogError):
+            catalog.update_statistics("psp1", distinct={"nope": 1})
+
+
+# ---------------------------------------------------------------------------
+# Byte-identity of session-backed builds against the reference builder
+# ---------------------------------------------------------------------------
+
+class TestWarmRebuildOracle:
+    def test_cold_and_warm_match_reference(self):
+        catalog = psp_catalog()
+        optimizer = MQOptimizer(catalog)
+        session = OptimizerSession(catalog, cache_plans=False)
+        queries = scaleup_queries(2)
+        reference = dag_fingerprint(optimizer._build_reference(queries))
+        assert dag_fingerprint(session.build_dag(queries)) == reference  # cold
+        assert dag_fingerprint(session.build_dag(queries)) == reference  # warm
+        assert dag_fingerprint(session.build_dag(queries)) == reference  # warm again
+        stats = session.cache_stats()
+        assert stats.builds == 3 and stats.hits > 0
+
+    def test_shifted_overlapping_batches_share_one_session(self):
+        """Overlapping-but-different batches must each equal their own
+        reference even though they reuse each other's fragments."""
+        catalog = psp_catalog()
+        optimizer = MQOptimizer(catalog)
+        session = OptimizerSession(catalog, cache_plans=False)
+        batches = [
+            scaleup_queries(2),                                       # SQ1..SQ6
+            [q for c in range(3, 9) for q in component_query(c)],     # SQ3..SQ8
+            scaleup_queries(1),                                       # SQ1..SQ2
+            scaleup_queries(2),                                       # repeat
+        ]
+        for index, queries in enumerate(batches):
+            warm = dag_fingerprint(session.build_dag(queries))
+            reference = dag_fingerprint(optimizer._build_reference(queries))
+            assert warm == reference, f"batch {index}"
+
+    def test_random_query_batches_on_shared_session(self):
+        catalog = psp_catalog()
+        optimizer = MQOptimizer(catalog)
+        session = OptimizerSession(catalog, cache_plans=False)
+        for seed in range(12):
+            queries = random_query_workload(seed)
+            assert dag_fingerprint(session.build_dag(queries)) == dag_fingerprint(
+                optimizer._build_reference(queries)
+            ), seed
+        # Second sweep: everything warm, including cross-batch sharing.
+        for seed in range(12):
+            queries = random_query_workload(seed)
+            assert dag_fingerprint(session.build_dag(queries)) == dag_fingerprint(
+                optimizer._build_reference(queries)
+            ), ("warm", seed)
+
+    def test_tpcd_batches_with_nested_queries(self):
+        catalog = tpcd_catalog(1.0)
+        optimizer = MQOptimizer(catalog)
+        session = OptimizerSession(catalog, cache_plans=False)
+        for index in (2, 5, 5):
+            queries = batched_queries(index)
+            assert dag_fingerprint(session.build_dag(queries)) == dag_fingerprint(
+                optimizer._build_reference(queries)
+            ), index
+
+    def test_optimization_results_match_plain_optimizer(self):
+        catalog = psp_catalog()
+        optimizer = MQOptimizer(catalog)
+        session = OptimizerSession(catalog)
+        queries = scaleup_queries(2)
+        plain = optimizer.optimize_all(queries)
+        warm = session.optimize_all(queries)
+        rewarm = session.optimize_all(queries)
+        for name in plain:
+            assert plain[name].cost == warm[name].cost == rewarm[name].cost, name
+            assert sorted(plain[name].plan.materialized) == sorted(
+                warm[name].plan.materialized
+            ), name
+
+
+# ---------------------------------------------------------------------------
+# Invalidation
+# ---------------------------------------------------------------------------
+
+def _deps_of_cache_entries(cache: SessionCache):
+    """All relation-dependency sets currently referenced by cache entries."""
+    for table in cache._catalog_dependent_caches():
+        for entry in table.values():
+            yield cache.deps_of(entry[-1])
+
+
+class TestInvalidation:
+    def test_stats_mutation_evicts_only_affected_relations(self):
+        catalog = psp_catalog()
+        session = OptimizerSession(catalog, cache_plans=False)
+        queries = scaleup_queries(2)
+        session.build_dag(queries)
+        cache = session.cache
+        before = cache.entry_count()
+        touching = sum(1 for deps in _deps_of_cache_entries(cache) if "psp1" in deps)
+        surviving = sum(1 for deps in _deps_of_cache_entries(cache) if "psp1" not in deps)
+        assert touching > 0 and surviving > 0
+        catalog.update_statistics("psp1", row_count=12_345)
+        cache.sync()
+        assert all("psp1" not in deps for deps in _deps_of_cache_entries(cache))
+        assert cache.stats.evicted_entries == touching
+        assert cache.entry_count() < before
+        # Entries not touching psp1 survived.
+        assert sum(1 for _ in _deps_of_cache_entries(cache)) == surviving
+
+    def test_post_invalidation_rebuild_matches_fresh_reference(self):
+        catalog = psp_catalog()
+        optimizer = MQOptimizer(catalog)
+        session = OptimizerSession(catalog, cache_plans=False)
+        queries = scaleup_queries(2)
+        pre = dag_fingerprint(session.build_dag(queries))
+        session.build_dag(queries)  # fully warm
+        catalog.update_statistics("psp2", row_count=55_555, distinct={"num": 13})
+        post = dag_fingerprint(session.build_dag(queries))
+        assert post == dag_fingerprint(optimizer._build_reference(queries))
+        # The mutation must be visible: serving the pre-mutation DAG (a
+        # stale-cache bug) would leave the fingerprint unchanged.
+        assert post != pre
+
+    def test_stale_cache_bug_would_be_caught(self):
+        """Demonstrate the regression the differential check guards against:
+        mutate statistics *behind the catalog's back* (no version bump) and
+        the warm rebuild serves stale pre-mutation properties, which the
+        fingerprint comparison against the reference builder detects."""
+        catalog = psp_catalog()
+        optimizer = MQOptimizer(catalog)
+        session = OptimizerSession(catalog, cache_plans=False)
+        queries = scaleup_queries(2)
+        pre = dag_fingerprint(session.build_dag(queries))
+        # Bypass update_statistics: swap the table without touching epochs.
+        table = catalog.table("psp2")
+        catalog._tables["psp2"] = make_table(
+            "psp2",
+            55_555,
+            [(c.name, c.width, c.distinct) for c in table.columns],
+        )
+        stale = dag_fingerprint(session.build_dag(queries))
+        reference = dag_fingerprint(optimizer._build_reference(queries))
+        assert stale == pre          # the session served stale entries...
+        assert stale != reference    # ...and the differential oracle trips.
+
+    def test_schema_change_clears_everything(self):
+        catalog = psp_catalog()
+        optimizer = MQOptimizer(catalog)
+        session = OptimizerSession(catalog, cache_plans=False)
+        queries = scaleup_queries(2)
+        session.build_dag(queries)
+        assert session.cache.entry_count() > 0
+        catalog.add_table(make_table("extra", 100, [("x", 8, 10)], primary_key="x"))
+        session.cache.sync()
+        assert all(
+            not cache for cache in session.cache._catalog_dependent_caches()
+        )
+        assert session.cache.stats.schema_invalidations == 1
+        assert dag_fingerprint(session.build_dag(queries)) == dag_fingerprint(
+            optimizer._build_reference(queries)
+        )
+
+    def test_manual_invalidate(self):
+        catalog = psp_catalog()
+        session = OptimizerSession(catalog, cache_plans=False)
+        session.build_dag(scaleup_queries(1))
+        session.invalidate("psp1")
+        assert all("psp1" not in deps for deps in _deps_of_cache_entries(session.cache))
+        session.invalidate()
+        assert all(not c for c in session.cache._catalog_dependent_caches())
+
+    def test_direct_fragment_invalidation_also_drops_plans(self):
+        """Invalidating through the public ``session.cache`` attribute (not
+        the façade's own ``invalidate``) must not leave stale plans behind."""
+        catalog = psp_catalog()
+        session = OptimizerSession(catalog)
+        queries = scaleup_queries(1)
+        first = session.build_dag(queries)
+        session.cache.invalidate("psp1")   # bypasses OptimizerSession.invalidate
+        assert session.build_dag(queries) is not first
+
+    def test_facade_invalidate_keeps_unrelated_plans(self):
+        catalog = psp_catalog()
+        session = OptimizerSession(catalog)
+        touching = scaleup_queries(1)                 # psp1..psp6
+        disjoint = list(component_query(10))          # psp10..psp14
+        session.build_dag(touching)
+        dag_disjoint = session.build_dag(disjoint)
+        session.invalidate("psp1")
+        assert session.build_dag(disjoint) is dag_disjoint
+
+    def test_pruning_and_non_pruning_builders_can_share_a_session(self):
+        """The prune tag distinguishes a pruning-disabled build (tag None)
+        from a pruning build where a table has no referenced columns."""
+        catalog = psp_catalog()
+        cache = SessionCache(catalog)
+        queries = list(component_query(1))
+        for prune in (False, True, False, True):
+            builder = DagBuilder(
+                catalog, session=cache, prune_unreferenced_columns=prune
+            )
+            built = dag_fingerprint(builder.build(list(queries)))
+            reference = DagBuilder(
+                catalog, memoize=False, prune_unreferenced_columns=prune
+            )
+            assert built == dag_fingerprint(reference.build(list(queries))), prune
+
+
+# ---------------------------------------------------------------------------
+# Plan cache
+# ---------------------------------------------------------------------------
+
+class TestPlanCache:
+    def test_exact_repeat_returns_same_dag_object(self):
+        catalog = psp_catalog()
+        session = OptimizerSession(catalog)
+        queries = scaleup_queries(1)
+        first = session.build_dag(queries)
+        second = session.build_dag(queries)
+        assert first is second
+        assert session.plan_hits == 1
+
+    def test_plan_cache_respects_batch_identity(self):
+        catalog = psp_catalog()
+        session = OptimizerSession(catalog)
+        base = scaleup_queries(1)
+        renamed = [Query(f"{q.name}!", q.expression) for q in base]
+        assert session.build_dag(base) is not session.build_dag(renamed)
+
+    def test_stats_change_evicts_dependent_plans_only(self):
+        catalog = psp_catalog()
+        session = OptimizerSession(catalog)
+        touching = scaleup_queries(1)            # psp1..psp6
+        disjoint = [q for q in component_query(10)]  # psp10..psp14
+        dag_touching = session.build_dag(touching)
+        dag_disjoint = session.build_dag(disjoint)
+        catalog.update_statistics("psp1", row_count=23_456)
+        assert session.build_dag(disjoint) is dag_disjoint
+        assert session.build_dag(touching) is not dag_touching
+
+    def test_cached_optimize_result_is_reused(self):
+        catalog = psp_catalog()
+        session = OptimizerSession(catalog)
+        queries = scaleup_queries(1)
+        first = session.optimize(queries, Algorithm.GREEDY)
+        second = session.optimize(queries, Algorithm.GREEDY)
+        assert first is second
+        other = session.optimize(queries, Algorithm.VOLCANO_SH)
+        assert other is not first
+
+    def test_mqoptimizer_session_constructor(self):
+        optimizer = MQOptimizer(psp_catalog(), enable_subsumption=False)
+        session = optimizer.session()
+        assert isinstance(session, OptimizerSession)
+        assert session.catalog is optimizer.catalog
+        assert not session.enable_subsumption
+        queries = scaleup_queries(1)
+        assert session.optimize(queries, "greedy").cost == optimizer.optimize(
+            queries, "greedy"
+        ).cost
+
+
+# ---------------------------------------------------------------------------
+# Builder guard rails
+# ---------------------------------------------------------------------------
+
+class TestBuilderSessionGuards:
+    def test_reference_builder_rejects_session(self):
+        catalog = psp_catalog()
+        cache = SessionCache(catalog)
+        with pytest.raises(ValueError):
+            DagBuilder(catalog, memoize=False, session=cache)
+
+    def test_session_must_match_catalog_and_cost_model(self):
+        catalog = psp_catalog()
+        cache = SessionCache(catalog)
+        with pytest.raises(ValueError):
+            DagBuilder(psp_catalog(), session=cache)
+        from repro.cost.model import CostModel
+
+        with pytest.raises(ValueError):
+            DagBuilder(catalog, cost_model=CostModel(), session=cache)
+
+    def test_session_deps_cover_referenced_tables(self):
+        catalog = psp_catalog()
+        cache = SessionCache(catalog)
+        builder = DagBuilder(catalog, session=cache)
+        builder.build(list(component_query(3)))  # psp3..psp7
+        assert builder.session_deps() == frozenset(
+            f"psp{i}" for i in range(3, 8)
+        )
