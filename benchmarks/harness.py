@@ -49,7 +49,7 @@ import json
 import os
 import sys
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 # Make ``src`` importable when this file is executed directly
 # (``python benchmarks/harness.py --smoke``); under pytest the benchmark

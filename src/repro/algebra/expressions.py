@@ -14,7 +14,7 @@ aggregation.  Nested/correlated queries are expressed at the workload level
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Mapping, Optional, Tuple
+from typing import FrozenSet, Iterator, Mapping, Optional, Tuple
 
 from repro.algebra.columns import ColumnRef
 from repro.algebra.predicates import Predicate, TruePredicate
@@ -199,7 +199,7 @@ class Aggregate(Expression):
         return f"γ[{group}; {aggs}]({self.child})"
 
 
-def walk(expression: Expression):
+def walk(expression: Expression) -> Iterator[Expression]:
     """Yield every node of the expression tree, pre-order."""
     yield expression
     for child in expression.children():

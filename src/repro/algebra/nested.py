@@ -87,7 +87,9 @@ class CorrelatedSubqueryFilter(Expression):
         """Invariant-side columns used by the correlation predicates."""
         columns = []
         for predicate in self.correlation:
-            for column in predicate.columns():
+            # ``columns()`` is a frozenset; sorted so the tuple (which feeds
+            # operator keys) never depends on hash iteration order.
+            for column in sorted(predicate.columns()):
                 if column.relation == self.invariant_alias or not column.relation:
                     columns.append(column)
         return tuple(columns)

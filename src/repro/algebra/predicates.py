@@ -16,7 +16,7 @@ evaluation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
 from repro.algebra.columns import ColumnRef, Constant, Operand
 
@@ -51,7 +51,7 @@ class Predicate:
         cached = self.__dict__.get("_relations")
         if cached is None:
             cached = frozenset(c.relation for c in self.columns())
-            object.__setattr__(self, "_relations", cached)
+            object.__setattr__(self, "_relations", cached)  # repro-lint: ok(C002) idempotent memo of a pure derived value on a frozen instance
         return cached
 
     def rename(self, mapping: Mapping[str, str]) -> "Predicate":

@@ -1,0 +1,28 @@
+"""Project-specific static analysis: determinism & cache-safety linting.
+
+This package is the mechanical lock-down of the repository's differential
+testing discipline: the bug classes the byte-identical oracles caught at
+test time (hash-order float folds, ``and_(*frozenset)`` argument ordering,
+identity-keyed cache entries) are rejected at review time instead.  Run it
+with ``python -m repro.analysis src tests benchmarks``; the rule catalogue,
+the suppression policy, and the history behind each rule live in
+``docs/DETERMINISM.md``.
+
+The package depends only on the standard library (``ast``, ``tokenize``,
+``tomllib`` when available) so it runs in every CI leg.
+"""
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.engine import discover_files, lint_paths, lint_source
+from repro.analysis.rules import RULES, Finding, check_module
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "RULES",
+    "check_module",
+    "discover_files",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+]

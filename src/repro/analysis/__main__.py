@@ -1,0 +1,96 @@
+"""Command-line entry point: ``python -m repro.analysis src tests benchmarks``.
+
+Exit status: 0 when the tree is clean, 1 when findings are reported, 2 on
+usage errors.  ``--format json`` emits a machine-readable report; CI consumes
+the default text format, which names rule + file:line per finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.engine import lint_paths
+from repro.analysis.rules import RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism & cache-safety linter for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        default=None,
+        help="explicit pyproject.toml to read [tool.repro-lint] from",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id with its description and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print(f"{rule}  {RULES[rule]}")
+        return 0
+
+    try:
+        config: LintConfig = load_config(args.config, start=args.paths[0] if args.paths else ".")
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        findings, checked = lint_paths(args.paths, config)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        report = {
+            "files_checked": checked,
+            "findings": [
+                {
+                    "path": finding.path,
+                    "line": finding.line,
+                    "col": finding.col + 1,
+                    "rule": finding.rule,
+                    "message": finding.message,
+                }
+                for finding in findings
+            ],
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.format())
+        summary = f"{len(findings)} finding(s) in {checked} file(s)"
+        print(summary if findings else f"clean: {summary}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Linter driver: file discovery, suppression matching, reporting.
+
+The pipeline per file is: parse → run the AST rules → collect the
+``# repro-lint: ok(...)`` suppressions → match findings to suppressions →
+emit the survivors plus the suppression meta-findings (S001 bare, S002
+unknown rule, S003 unused).  A suppression only silences a finding when it is
+well-formed, names a known rule, and carries a justification — a malformed
+suppression never widens what passes.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import os
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.config import LintConfig
+from repro.analysis.rules import RULES, Finding, check_module
+from repro.analysis.suppressions import Suppression, collect_suppressions
+
+
+def _suppression_findings(suppressions: Sequence[Suppression], path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for suppression in suppressions:
+        if not suppression.well_formed:
+            findings.append(
+                Finding(
+                    "S001",
+                    "malformed suppression: expected '# repro-lint: ok(RULE) reason'",
+                    suppression.line,
+                    suppression.col,
+                    path,
+                )
+            )
+            continue
+        if not suppression.reason:
+            findings.append(
+                Finding(
+                    "S001",
+                    "bare suppression: ok("
+                    + ", ".join(suppression.rules)
+                    + ") requires a justification after the closing parenthesis",
+                    suppression.line,
+                    suppression.col,
+                    path,
+                )
+            )
+        for rule in suppression.rules:
+            if rule not in RULES:
+                findings.append(
+                    Finding(
+                        "S002",
+                        f"suppression names unknown rule {rule!r}",
+                        suppression.line,
+                        suppression.col,
+                        path,
+                    )
+                )
+    return findings
+
+
+def _suppression_active(suppression: Suppression) -> bool:
+    """Only a well-formed, justified suppression of known rules silences."""
+    return (
+        suppression.well_formed
+        and bool(suppression.reason)
+        and bool(suppression.rules)
+        and all(rule in RULES for rule in suppression.rules)
+    )
+
+
+def lint_source(source: str, path: str, config: LintConfig) -> List[Finding]:
+    """Lint one file's contents; returns the reportable findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding("E999", f"syntax error: {error.msg}", error.lineno or 1, 0, path)]
+
+    raw = check_module(tree, config)
+    suppressions = collect_suppressions(source)
+    findings = _suppression_findings(suppressions, path)
+
+    # A suppression covers its own line and the line below it (so a standalone
+    # comment line can precede a multi-line statement it silences).
+    by_line: Dict[Tuple[int, str], List[Suppression]] = {}
+    for suppression in suppressions:
+        if not _suppression_active(suppression):
+            continue
+        for rule in suppression.rules:
+            by_line.setdefault((suppression.line, rule), []).append(suppression)
+            by_line.setdefault((suppression.line + 1, rule), []).append(suppression)
+
+    seen: set = set()
+    for finding in raw:
+        key = (finding.rule, finding.line, finding.col, finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        matches = by_line.get((finding.line, finding.rule))
+        if matches:
+            for suppression in matches:
+                suppression.used_rules.add(finding.rule)
+            continue
+        findings.append(
+            Finding(finding.rule, finding.message, finding.line, finding.col, path)
+        )
+
+    for suppression in suppressions:
+        if not _suppression_active(suppression):
+            continue
+        unused = [rule for rule in suppression.rules if rule not in suppression.used_rules]
+        for rule in unused:
+            findings.append(
+                Finding(
+                    "S003",
+                    f"unused suppression: no {rule} finding on this or the next line",
+                    suppression.line,
+                    suppression.col,
+                    path,
+                )
+            )
+    return findings
+
+
+def _excluded(relative: str, config: LintConfig) -> bool:
+    posix = relative.replace(os.sep, "/")
+    return any(
+        fnmatch.fnmatch(posix, pattern) or fnmatch.fnmatch("/" + posix, pattern)
+        for pattern in config.exclude
+    )
+
+
+def discover_files(paths: Iterable[str], config: LintConfig) -> List[str]:
+    """Expand path arguments into a sorted, exclusion-filtered file list."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if not _excluded(path, config):
+                files.append(path)
+            continue
+        for root, dirs, names in os.walk(path):
+            dirs.sort()
+            for name in sorted(names):
+                if not name.endswith(".py"):
+                    continue
+                candidate = os.path.join(root, name)
+                if not _excluded(candidate, config):
+                    files.append(candidate)
+    return sorted(dict.fromkeys(files))
+
+
+def lint_paths(paths: Iterable[str], config: LintConfig) -> Tuple[List[Finding], int]:
+    """Lint every python file under *paths*; returns (findings, files checked)."""
+    files = discover_files(paths, config)
+    findings: List[Finding] = []
+    for path in files:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(source, path, config))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    return findings, len(files)

@@ -1,0 +1,72 @@
+"""Per-line justified suppressions.
+
+A finding is silenced by a comment on the same physical line as the finding
+(or on the line directly above, for multi-line statements)::
+
+    selectivity = 1.0
+    for predicate in predicates:  # repro-lint: ok(D002) integer counters only
+        ...
+
+The grammar is ``# repro-lint: ok(RULE[, RULE...]) <justification>``.  The
+justification is mandatory: a bare ``ok(D001)`` is itself an error (S001), as
+is an unknown rule id (S002) or a suppression that matches no finding (S003).
+That policy keeps every silenced site carrying its own review trail and makes
+stale suppressions impossible to accumulate; see ``docs/DETERMINISM.md``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+#: Matches the whole suppression comment; group 1 = rule list, group 2 = reason.
+_SUPPRESSION_RE = re.compile(r"#\s*repro-lint:\s*ok\(([^)]*)\)\s*(.*?)\s*$")
+
+#: Loose marker used to reject malformed variants (wrong verb, missing parens).
+_MARKER_RE = re.compile(r"#\s*repro-lint:")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro-lint: ok(...)`` comment."""
+
+    line: int
+    col: int
+    rules: Tuple[str, ...]
+    reason: str
+    #: True iff the comment was syntactically well-formed (``ok(...)``).
+    well_formed: bool = True
+    #: Filled during matching: the rule ids this suppression actually silenced.
+    used_rules: Set[str] = field(default_factory=set)
+
+
+def collect_suppressions(source: str) -> List[Suppression]:
+    """Extract every suppression comment from *source*, in line order.
+
+    Tokenization errors are swallowed (the parser reports the syntax error
+    through its own channel); comments seen before the error still count.
+    """
+    suppressions: List[Suppression] = []
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type != tokenize.COMMENT:
+                continue
+            comment = token.string
+            if not _MARKER_RE.search(comment):
+                continue
+            match = _SUPPRESSION_RE.search(comment)
+            line, col = token.start
+            if match is None:
+                suppressions.append(Suppression(line, col, (), "", well_formed=False))
+                continue
+            rules = tuple(
+                rule.strip() for rule in match.group(1).split(",") if rule.strip()
+            )
+            suppressions.append(Suppression(line, col, rules, match.group(2)))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return suppressions

@@ -17,7 +17,7 @@ Typical usage::
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Optional, Sequence, Union
 
 from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel, DEFAULT_COST_MODEL

@@ -8,7 +8,7 @@ estimating costs, using statistics about relations").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 NumericBound = Union[int, float]

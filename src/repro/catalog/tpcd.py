@@ -12,7 +12,6 @@ evaluation and selectivity estimation purely numeric.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import make_table

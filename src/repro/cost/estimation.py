@@ -37,11 +37,10 @@ Two engineering properties of this layer matter to everything above it:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
-from repro.algebra.columns import ColumnRef, Constant
+from repro.algebra.columns import ColumnRef
 from repro.algebra.predicates import (
     Comparison,
     Conjunction,
@@ -103,7 +102,7 @@ class LogicalProperties:
                 width = 8
             else:
                 width = max(1, sum(stat.width for stat in self.columns.values()))
-            object.__setattr__(self, "_tuple_width", width)
+            object.__setattr__(self, "_tuple_width", width)  # repro-lint: ok(C002) idempotent memo of a pure derived value on a frozen instance
         return width
 
     def column(self, ref: ColumnRef) -> Optional[ColumnStats]:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import NamedTuple
+from typing import TYPE_CHECKING, Any, Dict, NamedTuple, NoReturn, Tuple
 
 
 class Cost(NamedTuple):
@@ -36,7 +36,7 @@ class Cost(NamedTuple):
     io: float = 0.0
     cpu: float = 0.0
 
-    def __mul__(self, factor):
+    def __mul__(self, factor: object) -> NoReturn:
         raise TypeError("Cost does not support *; use Cost.scaled(factor)")
 
     __rmul__ = __mul__
@@ -75,6 +75,11 @@ class CostModel:
     #: Random-I/O cost of one index probe (traversal + one leaf/data block).
     index_probe_ios: int = 2
 
+    if TYPE_CHECKING:
+        # Type-only declaration of the memo table installed by __post_init__;
+        # guarded so the dataclass machinery does not pick it up as a field.
+        _memo: Dict[Tuple[Any, ...], Any]
+
     def __post_init__(self) -> None:
         # Per-instance memo tables for the hottest pure primitives (``blocks``,
         # ``external_sort``, ``index_probe_cost``).  A DAG build prices every
@@ -88,7 +93,7 @@ class CostModel:
 
     _MEMO_LIMIT = 1 << 16
 
-    def _memo_get(self, key):
+    def _memo_get(self, key: Tuple[Any, ...]) -> Any:
         memo = self._memo
         if len(memo) > self._MEMO_LIMIT:
             memo.clear()

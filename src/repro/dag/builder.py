@@ -66,18 +66,22 @@ import itertools
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
+    Callable,
     Dict,
     FrozenSet,
     Hashable,
+    Iterable,
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
 from repro.algebra.columns import ColumnRef
 from repro.algebra.expressions import (
     Aggregate,
+    AggregateFunction,
     Expression,
     Join,
     Project,
@@ -282,14 +286,14 @@ def _leaf_count(node: EquivalenceNode) -> int:
     return 1
 
 
-def _referenced_column_names(expressions) -> frozenset:
+def _referenced_column_names(expressions: Iterable[Expression]) -> FrozenSet[str]:
     """Collect the names of every column referenced anywhere in the batch.
 
     The names are collected globally (TPC-D column names carry their table
     prefix, so there is no ambiguity); they drive the early-projection pruning
     of estimated intermediate-result widths.
     """
-    names = set()
+    names: Set[str] = set()
 
     def visit_predicate(predicate: Predicate) -> None:
         for column in predicate.columns():
@@ -325,6 +329,12 @@ def _referenced_column_names(expressions) -> frozenset:
     return frozenset(names)
 
 
+#: One recorded join operation of a canonical partition-enumeration recipe:
+#: ``(left key id, left props id, right key id, right props id, operator,
+#: total cost)``.  See :meth:`DagBuilder._replay_recipe`.
+RecipeEntry = Tuple[int, int, int, int, JoinOp, float]
+
+
 class DagBuilder:
     """Builds the combined AND-OR DAG for a batch of queries."""
 
@@ -348,7 +358,7 @@ class DagBuilder:
         #: materialization/reuse costs) reflect what a real optimizer carrying
         #: pushed-down projections would see.
         self.prune_unreferenced_columns = prune_unreferenced_columns
-        self._referenced_columns: Optional[frozenset] = None
+        self._referenced_columns: Optional[FrozenSet[str]] = None
         self.dag = Dag()
         #: ``memoize=False`` is the reference builder: the exact pre-memo code
         #: path, kept as the oracle for the builder differential suite.  All
@@ -359,23 +369,25 @@ class DagBuilder:
         #: ``(result.id, left.id, right.id)`` triples whose join operation has
         #: already been chosen and added (the triple determines the connecting
         #: predicates and hence the ``choose_join`` outcome).
-        self._join_op_memo: Optional[set] = set() if memoize else None
+        self._join_op_memo: Optional[Set[Tuple[int, int, int]]] = set() if memoize else None  # repro-lint: ok(M001) keyed on this dag's node ids; dies with the builder, nothing to invalidate
         #: Ids of join equivalence nodes whose partition enumeration is a pure
         #: function of their key and has been performed once already.
-        self._expanded_joins: Optional[set] = set() if memoize else None
+        self._expanded_joins: Optional[Set[int]] = set() if memoize else None  # repro-lint: ok(M001) keyed on this dag's node ids; dies with the builder, nothing to invalidate
         #: ``(weakened leaf selections, join predicates)`` -> weak join node,
         #: for the subsumption pass.
-        self._weak_join_memo: Optional[Dict] = {} if memoize else None
+        self._weak_join_memo: Optional[Dict[Tuple[object, ...], EquivalenceNode]] = {} if memoize else None  # repro-lint: ok(M001) keyed on this dag's nodes; dies with the builder, nothing to invalidate
+        # repro-lint: ok(M001) per-node pure derivation memo; dies with the builder
         self._applicable_memo: Optional[Dict[int, FrozenSet[Predicate]]] = (
             {} if memoize else None
         )
+        # repro-lint: ok(M001) per-node pure derivation memo; dies with the builder
         self._delivered_order_memo: Optional[Dict[int, Tuple[ColumnRef, ...]]] = (
             {} if memoize else None
         )
         #: Interned ``str(predicate)`` sort keys (used by every deterministic
         #: ``sorted(..., key=str)`` in the builder and the subsumption pass;
         #: pure caching, so it is active in the reference builder too).
-        self._pred_str: Dict[Predicate, str] = {}
+        self._pred_str: Dict[Predicate, str] = {}  # repro-lint: ok(M001) pure str(predicate) interning; value is a function of the key alone
         #: Catalog-lifetime fragment cache (:mod:`repro.service.session`),
         #: consulted *before* the per-build memos above so warm rebuilds of
         #: overlapping batches skip scan/join costing, property derivation,
@@ -398,7 +410,7 @@ class DagBuilder:
         self._node_pid: Dict[int, int] = {}
         self._node_deps: Dict[int, int] = {}
         self._kid_node: Dict[int, EquivalenceNode] = {}
-        self._table_tag_cache: Dict[str, Tuple[Optional[frozenset], int]] = {}
+        self._table_tag_cache: Dict[str, Tuple[Optional[FrozenSet[str]], int]] = {}
         self._build_deps_id = 0 if session is None else session.empty_deps_id
 
     def _pred_key(self, predicate: Predicate) -> str:
@@ -433,7 +445,7 @@ class DagBuilder:
         self._kid_node.setdefault(kid, node)
         self._build_deps_id = session.union_deps(self._build_deps_id, deps_id)
 
-    def _leaf_tag_deps(self, table: str) -> Tuple[Optional[frozenset], int]:
+    def _leaf_tag_deps(self, table: str) -> Tuple[Optional[FrozenSet[str]], int]:
         """Prune tag and deps id of base/scan nodes over *table*.
 
         The tag — the batch-referenced subset of the table's column names —
@@ -448,7 +460,7 @@ class DagBuilder:
         if cached is None:
             referenced = self._referenced_columns
             if referenced is None:
-                tag: Optional[frozenset] = None
+                tag: Optional[FrozenSet[str]] = None
             else:
                 names = self.catalog.table(table).column_names()
                 tag = frozenset(name for name in names if name in referenced)
@@ -457,7 +469,12 @@ class DagBuilder:
             self._table_tag_cache[table] = cached
         return cached
 
-    def _derived_cached(self, cache_key: tuple, deps_id: int, compute):
+    def _derived_cached(
+        self,
+        cache_key: Tuple[object, ...],
+        deps_id: int,
+        compute: Callable[[], Tuple[LogicalProperties, float]],
+    ) -> Tuple[LogicalProperties, float]:
         """Session-cached ``(properties, operation cost)`` of a derived node.
 
         *compute* is called on a miss and must return the pair; it is the
@@ -474,7 +491,7 @@ class DagBuilder:
         session.derived[cache_key] = (props, total, deps_id)
         return props, total
 
-    def session_deps(self) -> frozenset:
+    def session_deps(self) -> FrozenSet[str]:
         """Base relations read by the last build (plan-cache invalidation)."""
         if self._session is None:
             return frozenset()
@@ -490,11 +507,11 @@ class DagBuilder:
         """
         session = self._session
         if session is None:
-            return implies(and_(*stronger), and_(*weaker))
+            return implies(and_(*stronger), and_(*weaker))  # repro-lint: ok(D001) boolean implication is conjunct-order independent
         key = (stronger, weaker)
         cached = session.implications.get(key)
         if cached is None:
-            cached = implies(and_(*stronger), and_(*weaker))
+            cached = implies(and_(*stronger), and_(*weaker))  # repro-lint: ok(D001) boolean implication is conjunct-order independent
             session.implications[key] = cached
         return cached
 
@@ -708,7 +725,7 @@ class DagBuilder:
         self,
         child: EquivalenceNode,
         group_by: Tuple[ColumnRef, ...],
-        aggregates: Tuple,
+        aggregates: Tuple[AggregateFunction, ...],
         output_alias: str,
         is_subsumption: bool = False,
     ) -> EquivalenceNode:
@@ -755,7 +772,9 @@ class DagBuilder:
         inner_corr_cols = []
         outer_corr_cols = []
         for predicate in expression.correlation:
-            for column in predicate.columns():
+            # ``columns()`` is a frozenset; sorted because the collected lists
+            # feed the ``invocations``/``matches_per_probe`` float folds below.
+            for column in sorted(predicate.columns()):
                 if column in inner_columns:
                     inner_corr_cols.append(column)
                 else:
@@ -1013,7 +1032,7 @@ class DagBuilder:
         adjacency = [0] * n
         pred_masks: List[Tuple[int, Predicate]] = []
         for predicate in join_predicates:
-            members = [index_of[a] for a in predicate.relations() if a in alias_set]
+            members = [index_of[a] for a in predicate.relations() if a in alias_set]  # repro-lint: ok(D001) members feed commutative bitmask ORs only
             mask = 0
             for member in members:
                 mask |= 1 << member
@@ -1055,7 +1074,7 @@ class DagBuilder:
         # ordered leaf keys and block predicates, so it too survives across
         # builds (filled lazily the first time each block shape + leaf
         # combination is expanded).
-        mask_identity: Optional[Dict[int, tuple]] = None
+        mask_identity: Optional[Dict[int, Tuple[Hashable, FrozenSet[Predicate], int]]] = None
         if session is not None:
             block_sig = (
                 shape_key,
@@ -1117,7 +1136,7 @@ class DagBuilder:
                 nodes_by_mask[mask] = node
                 continue
             nodes_by_mask[mask] = node
-            record: Optional[list] = None
+            record: Optional[List[RecipeEntry]] = None
             if session is not None and canonical:
                 recipe = session.join_recipes.get((kid, self._node_pid[node.id]))
                 if recipe is not None and self._replay_recipe(node, recipe[0]):
@@ -1141,7 +1160,7 @@ class DagBuilder:
                 expanded.add(node.id)
         return nodes_by_mask[full_mask]
 
-    def _replay_recipe(self, node: EquivalenceNode, entries: tuple) -> bool:
+    def _replay_recipe(self, node: EquivalenceNode, entries: Tuple[RecipeEntry, ...]) -> bool:
         """Replay a cached canonical partition enumeration onto *node*.
 
         Validates first, replays second: every referenced child must exist in
@@ -1222,7 +1241,7 @@ class DagBuilder:
         left: EquivalenceNode,
         right: EquivalenceNode,
         all_predicates: FrozenSet[Predicate],
-        record: Optional[list] = None,
+        record: Optional[List[RecipeEntry]] = None,
     ) -> None:
         # ``all_predicates`` is always the result node's key predicate set, so
         # the triple determines the connecting predicates and the

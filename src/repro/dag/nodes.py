@@ -21,8 +21,11 @@ benefits for invariant sub-expressions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:
+    from repro.optimizer.engine import CostEngine
 
 from repro.algebra.columns import ColumnRef
 from repro.algebra.expressions import AggregateFunction
@@ -180,7 +183,7 @@ class OperationNode:
         local_cost: float,
         child_multipliers: Optional[Tuple[float, ...]] = None,
         is_subsumption: bool = False,
-        signature: Optional[tuple] = None,
+        signature: Optional[Tuple[object, ...]] = None,
     ) -> None:
         self.id = node_id
         self.operator = operator
@@ -275,6 +278,11 @@ class Dag:
     no-op operation has the root equivalence node of every query as an input
     (Section 2.1 of the paper).
     """
+
+    if TYPE_CHECKING:
+        # Type-only declaration of the dense cost-engine snapshot installed
+        # lazily by :func:`repro.optimizer.engine.cost_engine_for`.
+        _cost_engine: Tuple[Tuple[int, int], "CostEngine"]
 
     def __init__(self) -> None:
         self._equivalences: List[EquivalenceNode] = []
@@ -399,7 +407,7 @@ class Dag:
         counter = 0
         # Iterative post-order DFS to avoid recursion limits on deep DAGs.
         stack: List[Tuple[EquivalenceNode, bool]] = [(self.root, False)]
-        on_path: set = set()
+        on_path: Set[int] = set()
         while stack:
             node, processed = stack.pop()
             if processed:

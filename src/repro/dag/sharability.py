@@ -51,7 +51,7 @@ from typing import Dict, Iterable, List, Optional, Set
 try:  # NumPy is optional: the sparse fallback is exact, just slower.
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised via the _np=None test path
-    _np = None
+    _np = None  # type: ignore[assignment]
 
 from repro.dag.nodes import Dag, EquivalenceNode
 

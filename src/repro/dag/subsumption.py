@@ -40,7 +40,7 @@ of these tables and remains the byte-identity oracle.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.algebra.columns import ColumnRef
 from repro.algebra.expressions import AggregateFunction
@@ -48,11 +48,10 @@ from repro.algebra.predicates import (
     Comparison,
     Predicate,
     and_,
-    implies,
     or_,
 )
 from repro.cost import algorithms as alg
-from repro.dag.nodes import AggregateOp, EquivalenceNode, ScanOp, SelectOp
+from repro.dag.nodes import AggregateOp, EquivalenceNode, SelectOp
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.dag.builder import DagBuilder
@@ -146,7 +145,7 @@ def _single_equality(predicates: FrozenSet[Predicate]) -> Optional[Comparison]:
     """Return the single ``column = constant`` comparison, if that is all."""
     if len(predicates) != 1:
         return None
-    (predicate,) = tuple(predicates)
+    (predicate,) = predicates
     if isinstance(predicate, Comparison):
         normalized = predicate.normalized()
         if normalized.op == "=" and normalized.is_column_constant():

@@ -11,7 +11,7 @@ experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel, DEFAULT_COST_MODEL
@@ -171,7 +171,7 @@ class Executor:
                 outer_refs = [
                     c
                     for p in operator.correlation
-                    for c in p.columns()
+                    for c in sorted(p.columns())
                     if outer_rows and c in outer_rows[0]
                 ]
                 invocations = len({tuple(r.get(c) for c in outer_refs) for r in outer_rows}) if outer_rows else 0

@@ -12,7 +12,7 @@ plan, priced with the optimizer's own cost-model constants).
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algebra.columns import ColumnRef

@@ -96,7 +96,9 @@ def total_cost_reference(
     materialized = materialized or set()
     total = costs[dag.root.id]
     by_id = {node.id: node for node in dag.equivalence_nodes()}
-    for node_id in materialized:
+    # Sorted so the float sum is deterministic for equal sets regardless of
+    # set insertion history — and bit-identical to ``CostEngine.total``.
+    for node_id in sorted(materialized):
         node = by_id[node_id]
         total += costs[node_id] + node.mat_cost
     return total

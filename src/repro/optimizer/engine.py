@@ -89,6 +89,7 @@ from __future__ import annotations
 import heapq
 import math
 from typing import (
+    Any,
     Dict,
     FrozenSet,
     Iterator,
@@ -273,7 +274,7 @@ class CostEngine:
         #: expression replaces the nested child loop; the left-associated
         #: expression evaluates bit-identically to the sequential
         #: accumulation it replaces.
-        self.op_specs: List[Optional[Tuple[tuple, ...]]] = []
+        self.op_specs: List[Optional[Tuple[Tuple[Any, ...], ...]]] = []
         for node_id, operations in enumerate(self.op_table):
             if self.is_base[node_id] or not operations:
                 self.op_specs.append(None)
@@ -465,7 +466,7 @@ class CostEngine:
         return effective
 
 
-def argmin_operation(operations: Tuple[tuple, ...], effective: Sequence[float]) -> int:
+def argmin_operation(operations: Tuple[Tuple[Any, ...], ...], effective: Sequence[float]) -> int:
     """Index of the argmin operation of one ``op_specs`` row under the
     effective child costs, -1 when every alternative is infinite.
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Iterable, Optional, Sequence, Set
+from typing import Optional, Sequence, Set
 
 from repro.dag.nodes import Dag, EquivalenceNode
 from repro.dag.sharability import sharable_nodes

@@ -369,7 +369,7 @@ def _prune_unused(
                     )
 
     while True:
-        unused = [node_id for node_id in materialized if not ref[node_id]]
+        unused = [node_id for node_id in materialized if not ref[node_id]]  # repro-lint: ok(D001) consumed order-insensitively: re-sorted below and set-differenced
         if not unused:
             break
         changed: Set[int] = set()

@@ -15,7 +15,7 @@ result — the form the simulated execution engine consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.dag.nodes import Dag, DagError, EquivalenceNode, OperationNode
 from repro.optimizer.engine import get_engine as _engine

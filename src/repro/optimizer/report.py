@@ -11,7 +11,7 @@ paper's tables and figures directly from :class:`OptimizationResult` objects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.optimizer.plans import ConsolidatedPlan
 

@@ -67,14 +67,15 @@ Sessions are not thread-safe; use one session per worker.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.algebra.predicates import Predicate
 from repro.api import Algorithm, MQOptimizer, PAPER_ALGORITHMS
 from repro.catalog.catalog import Catalog
 from repro.cost.estimation import LogicalProperties
 from repro.cost.model import CostModel, DEFAULT_COST_MODEL
-from repro.dag.builder import DagBuilder, Query
-from repro.dag.nodes import Dag
+from repro.dag.builder import DagBuilder, Query, RecipeEntry
+from repro.dag.nodes import Dag, JoinOp, ScanOp
 from repro.optimizer import GreedyOptions, OptimizationResult
 
 
@@ -148,50 +149,50 @@ class SessionCache:
         self.cost_model = cost_model
         # Canonical equivalence keys -> dense ids (hashed once per node per
         # build; the fragment caches below are keyed on the ids).
-        self._key_ids: Dict[Hashable, int] = {}
+        self._key_ids: Dict[Hashable, int] = {}  # repro-lint: ok(M001) catalog-independent: interns canonical keys by value
         # LogicalProperties -> dense ids, by object identity (see module
         # docstring: identity-keying is the byte-identity mechanism).  The
         # list keeps the objects alive so ids can never be recycled.
-        self._props_ids: Dict[int, int] = {}
+        self._props_ids: Dict[int, int] = {}  # repro-lint: ok(M001) identity interner; _props_refs pins the objects, ids never recycle
         self._props_refs: List[LogicalProperties] = []
         self._deps = _DepsInterner()
         self.empty_deps_id = self._deps.intern(frozenset())
         # -- fragment caches (values end with the interned deps id) ----------
         #: (table, alias) -> (props, deps)
-        self.base_props: Dict[Tuple[str, str], tuple] = {}
+        self.base_props: Dict[Tuple[str, str], Tuple[LogicalProperties, int]] = {}
         #: (scan key id, predicate order, prune tag) ->
         #: (props, label, ScanOp, cost, deps)
-        self.scans: Dict[tuple, tuple] = {}
+        self.scans: Dict[Tuple[Any, ...], Tuple[LogicalProperties, str, ScanOp, float, int]] = {}
         #: ("select", child props id, predicate order) /
         #: ("project", child props id, columns) /
         #: ("agg", child props id, agg key id) -> (props, cost, deps)
-        self.derived: Dict[tuple, tuple] = {}
+        self.derived: Dict[Tuple[Any, ...], Tuple[LogicalProperties, float, int]] = {}
         #: (join key id, ordered member props ids) -> (props, deps)
-        self.join_props: Dict[tuple, tuple] = {}
+        self.join_props: Dict[Tuple[Any, ...], Tuple[LogicalProperties, int]] = {}
         #: (result kid, left kid, right kid, result/left/right props ids) ->
         #: (JoinOp, cost, deps)
-        self.join_ops: Dict[tuple, tuple] = {}
+        self.join_ops: Dict[Tuple[Any, ...], Tuple[JoinOp, float, int]] = {}
         #: (join key id, result props id) -> (entries, deps); one entry is
         #: (left kid, left props id, right kid, right props id, JoinOp,
         #: cost), in enumeration order.
-        self.join_recipes: Dict[tuple, tuple] = {}
+        self.join_recipes: Dict[Tuple[int, int], Tuple[Tuple[RecipeEntry, ...], int]] = {}
         # -- catalog-independent caches (never evicted) ----------------------
         #: (n, adjacency bitmasks, predicate bitmasks) -> _BlockShape: the
         #: connected-subset list, applicability, canonicality, and partition
         #: enumeration of a join block — pure combinatorics shared across
         #: blocks and builds (see :class:`repro.dag.builder._BlockShape`).
-        self.block_shapes: Dict[tuple, object] = {}
+        self.block_shapes: Dict[Tuple[Any, ...], object] = {}  # repro-lint: ok(M001) pure combinatorics of the shape key; catalog-independent
         #: (shape key, ordered leaf key ids, block predicates) ->
         #: {mask: (join equivalence key, applicable predicates, key id)} —
         #: the canonical identity of every connected sub-set of a block, a
         #: pure function of the leaf keys and predicates (filled lazily).
-        self.block_keys: Dict[tuple, Dict[int, tuple]] = {}
+        self.block_keys: Dict[Tuple[Any, ...], Dict[int, Tuple[Hashable, FrozenSet[Predicate], int]]] = {}  # repro-lint: ok(M001) pure function of leaf keys + predicates; catalog-independent
         #: weak-join memo key -> ordered build plan (sorted weak scans plus
         #: ordered join predicates); pure predicate structure, see
         #: :func:`repro.dag.subsumption._weak_join_node`.
-        self.weak_joins: Dict[Hashable, tuple] = {}
+        self.weak_joins: Dict[Hashable, Tuple[Any, ...]] = {}  # repro-lint: ok(M001) pure predicate structure; catalog-independent
         #: (stronger predicate set, weaker predicate set) -> bool
-        self.implications: Dict[Tuple[FrozenSet, FrozenSet], bool] = {}
+        self.implications: Dict[Tuple[FrozenSet[Predicate], FrozenSet[Predicate]], bool] = {}  # repro-lint: ok(M001) pure predicate logic; never invalidated
         # -- invalidation state ----------------------------------------------
         self._synced_statistics_epoch = catalog.statistics_epoch
         self._synced_schema_epoch = catalog.schema_epoch
@@ -273,7 +274,7 @@ class SessionCache:
         else:
             self._evict(frozenset((table.lower(),)))
 
-    def _catalog_dependent_caches(self) -> Tuple[dict, ...]:
+    def _catalog_dependent_caches(self) -> Tuple[Dict[Any, Any], ...]:
         return (
             self.base_props,
             self.scans,

@@ -9,7 +9,7 @@ multi-query machinery.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.algebra.expressions import Aggregate, Expression, Join, Project, Relation, Select
 from repro.algebra.nested import CorrelatedSubqueryFilter

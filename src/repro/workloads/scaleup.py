@@ -15,7 +15,7 @@ selection predicates; ``CQ_5`` is on 22 relations with 144 join predicates and
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import Dict, List
 
 from repro.algebra import Join, Relation, Select, col, eq, ge
 from repro.dag.builder import Query
@@ -59,7 +59,7 @@ def scaleup_queries(i: int, seed: int = 42) -> List[Query]:
     return queries
 
 
-def all_scaleup_workloads(seed: int = 42):
+def all_scaleup_workloads(seed: int = 42) -> Dict[str, List[Query]]:
     """``{"CQ1": [...], ..., "CQ5": [...]}`` as used by the Figure 9/10 benches."""
     return {f"CQ{i}": scaleup_queries(i, seed=seed) for i in range(1, 6)}
 

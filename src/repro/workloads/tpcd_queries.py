@@ -14,7 +14,7 @@ different constants.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List
 
 from repro.algebra import (
     Aggregate,
@@ -31,12 +31,13 @@ from repro.algebra import (
     lt,
     ne,
 )
+from repro.algebra.expressions import Expression
 from repro.algebra.nested import CorrelatedSubqueryFilter
 from repro.catalog.tpcd import date_day
 from repro.dag.builder import Query
 
 
-def _join_all(*parts):
+def _join_all(*parts: Any) -> Expression:
     """Left-deep join of the given expressions/predicates.
 
     ``parts`` alternates expressions and the predicate joining the next
@@ -56,7 +57,7 @@ def _join_all(*parts):
 # Q2 — minimum-cost supplier (correlated nested query)
 # ---------------------------------------------------------------------------
 
-def _q2_outer(size: int, region: str):
+def _q2_outer(size: int, region: str) -> Expression:
     part = Select(Relation("part"), eq(col("part", "p_size"), size))
     partsupp = Relation("partsupp")
     supplier = Relation("supplier")
@@ -75,7 +76,7 @@ def _q2_outer(size: int, region: str):
     )
 
 
-def _q2_invariant(region: str):
+def _q2_invariant(region: str) -> Expression:
     partsupp = Relation("partsupp")
     supplier = Relation("supplier")
     nation = Relation("nation")
@@ -158,7 +159,7 @@ def q2_decorrelated(size: int = 15, region: str = "EUROPE") -> List[Query]:
 
 def q11(nation: str = "GERMANY") -> Query:
     """TPC-D Q11: the partsupp/supplier/nation join feeds two aggregations."""
-    def shared_join():
+    def shared_join() -> Expression:
         return _join_all(
             Relation("partsupp"),
             eq(col("partsupp", "ps_suppkey"), col("supplier", "s_suppkey")),
@@ -192,7 +193,7 @@ def q15(start_year: int = 1996) -> Query:
     start = date_day(start_year, 1, 1)
     end = date_day(start_year, 4, 1)
 
-    def revenue_view():
+    def revenue_view() -> Expression:
         filtered = Select(
             Relation("lineitem"),
             and_(
@@ -370,7 +371,7 @@ def q10(start_date: int = date_day(1993, 10, 1), returnflag: str = "R") -> Query
     return Query("Q10", expression)
 
 
-def standalone_workloads():
+def standalone_workloads() -> Dict[str, List[Query]]:
     """The four stand-alone workloads of Experiment 1 (Figure 6), by name."""
     return {
         "Q2": [q2()],

@@ -1,0 +1,14 @@
+"""C001: id()-keyed cache without a strong reference pinning the object."""
+
+
+class PropsCache:
+    def __init__(self):
+        self._ids = {}
+
+    def props_id(self, props) -> int:
+        # The object can be collected and its id recycled by a different
+        # object, silently aliasing two cache entries.
+        key = id(props)
+        if key not in self._ids:
+            self._ids[key] = len(self._ids)
+        return self._ids[key]

@@ -1,0 +1,14 @@
+"""C001 fix: a companion strong reference keeps every id() alive."""
+
+
+class PropsCache:
+    def __init__(self):
+        self._ids = {}
+        self._refs = []
+
+    def props_id(self, props) -> int:
+        key = id(props)
+        if key not in self._ids:
+            self._ids[key] = len(self._ids)
+            self._refs.append(props)  # pins the object: ids never recycle
+        return self._ids[key]

@@ -1,0 +1,18 @@
+"""C002: mutating documented frozen / copy-on-write structures."""
+
+
+def widen(props, ref, stat):
+    # `columns` dictionaries are shared copy-on-write between properties
+    # instances; writing through one mutates them all.
+    props.columns[ref] = stat
+    return props
+
+
+def escape_hatch(instance, value):
+    object.__setattr__(instance, "cached", value)
+    return instance
+
+
+def bulk_update(props, extra):
+    props.columns.update(extra)
+    return props

@@ -1,0 +1,14 @@
+"""C002 fixes: copy instead of mutating shared frozen state."""
+
+
+def widen(props, make_props, ref, stat):
+    columns = dict(props.columns)
+    columns[ref] = stat
+    return make_props(props.rows, columns)
+
+
+class Memoized:
+    # object.__setattr__ inside __init__/__post_init__ is the sanctioned
+    # frozen-dataclass initialization idiom and is not flagged.
+    def __init__(self, value):
+        object.__setattr__(self, "value", value)

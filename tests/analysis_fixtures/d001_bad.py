@@ -1,0 +1,26 @@
+"""D001: unordered iterables materialized in hash order."""
+
+from typing import FrozenSet
+
+
+def key_from_set(relations: FrozenSet[str]) -> tuple:
+    return tuple(relations)  # hash order leaks into the key
+
+
+def listcomp_over_set(columns: FrozenSet[str]) -> list:
+    return [c.upper() for c in columns]
+
+
+def join_names(aliases: FrozenSet[str]) -> str:
+    return ", ".join(aliases)
+
+
+def tie_break(costs: FrozenSet[float]) -> float:
+    return min(costs, key=lambda c: round(c, 6))  # key= ties resolve in hash order
+
+
+def appended(tables: FrozenSet[str]) -> list:
+    out = []
+    for table in tables:
+        out.append(table)
+    return out

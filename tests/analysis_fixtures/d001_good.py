@@ -1,0 +1,31 @@
+"""D001 fixes: sort before materializing."""
+
+from typing import FrozenSet
+
+
+def key_from_set(relations: FrozenSet[str]) -> tuple:
+    return tuple(sorted(relations))
+
+
+def listcomp_over_set(columns: FrozenSet[str]) -> list:
+    return [c.upper() for c in sorted(columns)]
+
+
+def join_names(aliases: FrozenSet[str]) -> str:
+    return ", ".join(sorted(aliases))
+
+
+def tie_break(costs: FrozenSet[float]) -> float:
+    return min(sorted(costs), key=lambda c: round(c, 6))
+
+
+def appended(tables: FrozenSet[str]) -> list:
+    out = []
+    for table in sorted(tables):
+        out.append(table)
+    return out
+
+
+def membership_is_fine(tables: FrozenSet[str], name: str) -> bool:
+    # Reading a set without materializing its order is not a finding.
+    return name in tables and len(tables) > 1

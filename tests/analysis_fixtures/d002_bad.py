@@ -1,0 +1,14 @@
+"""D002: order-sensitive float folds over unordered sources."""
+
+from typing import FrozenSet
+
+
+def selectivity_product(selectivities: FrozenSet[float]) -> float:
+    product = 1.0
+    for s in selectivities:
+        product *= s  # float * is not associative: result varies with hash order
+    return product
+
+
+def cost_sum(costs: FrozenSet[float]) -> float:
+    return sum(costs)  # float + is not associative either

@@ -1,0 +1,14 @@
+"""D002 fixes: fix a canonical fold order first."""
+
+from typing import FrozenSet
+
+
+def selectivity_product(selectivities: FrozenSet[float]) -> float:
+    product = 1.0
+    for s in sorted(selectivities):
+        product *= s
+    return product
+
+
+def cost_sum(costs: FrozenSet[float]) -> float:
+    return sum(sorted(costs))

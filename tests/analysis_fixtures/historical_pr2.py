@@ -1,0 +1,16 @@
+"""Verbatim reduction of the PR 2 hash-seed bug (``_join_properties``).
+
+The join selectivity was folded over a ``frozenset`` of predicates; float
+multiplication is not associative, so the estimated row count — and through
+it materialization costs and near-tie plan choices — varied with
+``PYTHONHASHSEED``.  Fixed by folding in sorted predicate order.
+"""
+
+
+def _join_properties(estimator, cross, predicates):
+    # ``predicates`` arrives as frozenset(conjuncts) from the block splitter.
+    predicates = frozenset(predicates)
+    selectivity = 1.0
+    for predicate in predicates:
+        selectivity *= estimator.predicate_selectivity(predicate, cross)
+    return cross.with_rows(cross.rows * selectivity)

@@ -1,0 +1,13 @@
+"""Verbatim reduction of the PR 4 hash-seed bug (subsumption residuals).
+
+The residual conjuncts of a subsumption selection were star-unpacked out of
+a set difference straight into ``and_``; conjunct order is part of the
+resulting ``Conjunction`` (and hence of operator keys and labels), so the
+DAG fingerprint varied with ``PYTHONHASHSEED``.  Fixed by sorting the
+residual conjuncts before building the predicate.
+"""
+
+
+def residual_predicate(and_, stronger_conjuncts, weaker_conjuncts):
+    residual = frozenset(stronger_conjuncts) - frozenset(weaker_conjuncts)
+    return and_(*residual)

@@ -1,0 +1,7 @@
+"""M001: a registered cache-owning class with no registry method at all."""
+
+
+class SessionCache:
+    def __init__(self, catalog):
+        self.catalog = catalog
+        self.scans = {}

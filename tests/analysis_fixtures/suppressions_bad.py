@@ -1,0 +1,15 @@
+"""Suppression meta-rules: bare, unknown and unused suppressions."""
+
+from typing import FrozenSet
+
+
+def bare(relations: FrozenSet[str]) -> tuple:
+    return tuple(relations)  # repro-lint: ok(D001)
+
+
+def unknown(relations: FrozenSet[str]) -> tuple:
+    return tuple(relations)  # repro-lint: ok(D999) no such rule
+
+
+def unused(relations: FrozenSet[str]) -> tuple:
+    return tuple(sorted(relations))  # repro-lint: ok(D001) already sorted, nothing to silence

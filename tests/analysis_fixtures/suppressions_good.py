@@ -1,0 +1,12 @@
+"""Well-formed, justified, used suppressions silence their finding."""
+
+from typing import FrozenSet
+
+
+def trailing(relations: FrozenSet[str]) -> tuple:
+    return tuple(relations)  # repro-lint: ok(D001) feeds a commutative bitmask OR only
+
+
+def standalone(relations: FrozenSet[str]) -> tuple:
+    # repro-lint: ok(D001) consumed order-insensitively by the caller
+    return tuple(relations)

@@ -24,7 +24,7 @@ parentless derived node becomes a query root.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from repro.algebra import (
     Aggregate,

@@ -10,17 +10,18 @@ are locked down here:
   node keys, properties, operation lists, costs, topological numbers.
 * **``PYTHONHASHSEED`` independence**: separate interpreter processes with
   different hash seeds produce identical canonical fingerprints, for the
-  memoized builder, the reference builder, and session-backed (cold and
-  warm) builds.  (PR 2 fixed the selectivity-product hash-order leak in
-  ``_join_properties``; PR 4 fixed the residual-conjunct order of
-  subsumption selections, which this test would catch regressing.)
+  memoized builder, the reference builder, session-backed (cold and warm)
+  builds, and the execution layer — per-query rows in exact row and column
+  order plus work accounting, for a Volcano and a greedy plan.  (PR 2 fixed
+  the selectivity-product hash-order leak in ``_join_properties``; PR 4
+  fixed the residual-conjunct order of subsumption selections, which this
+  test would catch regressing.)
 
 The fingerprints come from :func:`tests.generators.dag_fingerprint`, which
 sorts every frozenset by a canonical token so the serialization itself is
 hash-order independent.
 """
 
-import hashlib
 import os
 import subprocess
 import sys
@@ -56,6 +57,28 @@ session = OptimizerSession(optimizer.catalog, cache_plans=False)
 for label in ("session-cold", "session-warm"):
     fingerprint = dag_fingerprint(session.build_dag(scaleup_queries(2)))
     print(label, hashlib.sha256(fingerprint.encode()).hexdigest())
+# Executor + operator outputs (repro.execution) must be hash-seed independent
+# as well: the exact per-query rows, in their exact order, with their exact
+# (insertion-ordered) column order, plus the work accounting.
+from repro import Algorithm
+from repro.catalog import psp_catalog as _psp
+from repro.execution import Executor, generate_psp_data
+from repro.workloads.scaleup import component_query
+exec_catalog = _psp(relation_count=6)
+executor = Executor(generate_psp_data(relation_count=6, rows_per_table=300), exec_catalog)
+exec_optimizer = MQOptimizer(exec_catalog)
+for algorithm in (Algorithm.VOLCANO, Algorithm.GREEDY):
+    result = executor.run(exec_optimizer.optimize(component_query(1), algorithm).plan)
+    serialized = repr([
+        [[(str(col), row[col]) for col in row] for row in rows]
+        for rows in result.per_query_rows
+    ])
+    print(
+        "exec", algorithm.name,
+        hashlib.sha256(serialized.encode()).hexdigest(),
+        result.stats.rows_scanned, result.stats.rows_materialized,
+        result.stats.reuses, round(result.simulated_seconds, 9),
+    )
 """
 
 

@@ -1,10 +1,11 @@
-"""Docs freshness: the README's code examples must actually run.
+"""Docs freshness: the documentation's code examples must actually run.
 
-Every fenced ``python`` block in ``README.md`` is executed in its own
-namespace (asserts included), so the documented API — the quick-start, the
-``OptimizerSession`` warm-rebuild example — can never drift from the code.
-The blocks are intentionally small and statistics-only (no data generation),
-keeping this suite a few hundred milliseconds.
+Every fenced ``python`` block in ``README.md`` and ``docs/DETERMINISM.md``
+is executed in its own namespace (asserts included), so the documented API —
+the quick-start, the ``OptimizerSession`` warm-rebuild example, the linter
+example — can never drift from the code.  The blocks are intentionally small
+and statistics-only (no data generation), keeping this suite a few hundred
+milliseconds.
 
 Runs in every CI leg, including the no-NumPy one: the examples must not
 depend on optional accelerators.
@@ -15,23 +16,34 @@ import re
 
 import pytest
 
-README = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "README.md")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS = {
+    "README.md": os.path.join(REPO_ROOT, "README.md"),
+    "DETERMINISM.md": os.path.join(REPO_ROOT, "docs", "DETERMINISM.md"),
+}
 
 _BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
 
-def _python_blocks():
-    with open(README, encoding="utf-8") as handle:
+def _python_blocks(doc):
+    with open(DOCS[doc], encoding="utf-8") as handle:
         text = handle.read()
     return _BLOCK_RE.findall(text)
 
 
+def _all_blocks():
+    return [(doc, index, block) for doc in DOCS for index, block in enumerate(_python_blocks(doc))]
+
+
 def test_readme_has_python_examples():
-    assert len(_python_blocks()) >= 2, "README lost its executable examples"
+    assert len(_python_blocks("README.md")) >= 2, "README lost its executable examples"
 
 
-@pytest.mark.parametrize("index", range(len(_python_blocks())))
-def test_readme_python_block_runs(index, capsys):
-    block = _python_blocks()[index]
-    namespace = {"__name__": f"readme_block_{index}"}
-    exec(compile(block, f"README.md[block {index}]", "exec"), namespace)
+def test_determinism_doc_has_python_example():
+    assert len(_python_blocks("DETERMINISM.md")) >= 1, "DETERMINISM.md lost its executable example"
+
+
+@pytest.mark.parametrize("doc, index, block", _all_blocks())
+def test_doc_python_block_runs(doc, index, block, capsys):
+    namespace = {"__name__": f"{doc}_block_{index}"}
+    exec(compile(block, f"{doc}[block {index}]", "exec"), namespace)

@@ -91,7 +91,7 @@ class TestOperators:
         left = [{col("l", "k"): k, col("l", "i"): i} for i, k in enumerate(left_keys)]
         right = [{col("r", "k"): k, col("r", "j"): j} for j, k in enumerate(right_keys)]
         joined = join_rows(left, right, [eq(col("l", "k"), col("r", "k"))], _stats(), MODEL)
-        expected = sum(left_keys.count(k) * right_keys.count(k) for k in set(left_keys))
+        expected = sum(left_keys.count(k) * right_keys.count(k) for k in set(left_keys))  # repro-lint: ok(D002) integer counts: the sum is order-independent
         assert len(joined) == expected
 
 
