@@ -41,6 +41,26 @@ given PR measured on its container, while regression *checking* goes through
 the normalized ``--perf-gate`` below.  Warm-rebuild *speedups* are ratios —
 machine-independent — so the gate checks them against fixed floors
 (:data:`WARM_GATE_MIN_SPEEDUP`) with no baseline entry.
+
+**Series policy.**  Every PR that touches performance-relevant code emits
+exactly one ``BENCH_pr<k>.json`` at the repository root, produced by this
+harness on the PR's container (``--smoke --warm --service --json
+BENCH_pr<k>.json``, full service scale).  PRs that do not touch perf code
+emit none — gaps in the ``pr<k>`` numbering are expected and mean exactly
+that, not lost data (there is no ``BENCH_pr6.json``: PR 6 was the linter).
+Since PR 7 the snapshot also carries a ``service_throughput`` entry — the
+multi-worker service path (pickled fragment-cache snapshot fanned out to
+worker processes, bounded caches, overlapping batches)::
+
+    "service_throughput": {
+      "workers": <process count>, "batches": <total batches served>,
+      "qps": <batches per wall-clock second, all workers>,
+      "p50_ms": ..., "p99_ms": ...,   # per-batch service latency
+      "fragment_hit_rate": <hits / (hits + misses), aggregated>,
+      "lru_evictions": <capacity evictions, aggregated>,
+      "family_sizes_max": {<family>: <largest end-state size any worker saw>},
+      ...
+    }
 """
 
 from __future__ import annotations
@@ -183,6 +203,201 @@ def smoke(batch_index: int = 2, json_path: Optional[str] = None) -> None:
           f"(session warm rebuild {warm_ms:.2f} ms), "
           f"greedy cost {greedy.cost:.2f}, "
           f"{greedy.materialized_count} materializations")
+
+
+# ---------------------------------------------------------------------------
+# Multi-worker service throughput (PR 7: content-addressed, bounded caches)
+# ---------------------------------------------------------------------------
+
+#: Bound on the per-worker batch-level plan cache.  The batch stream cycles
+#: through more distinct batches than this (see :func:`_service_batch_specs`),
+#: so with LRU the plan cache is pure churn and every batch genuinely
+#: rebuilds its DAG through the fragment cache — the path under test.
+SERVICE_MAX_PLANS = 32
+
+
+def _service_batch_specs(count: int) -> List[tuple]:
+    """Deterministic stream of overlapping component-query windows.
+
+    Each spec is ``(start, width)``: the batch optimizes components
+    ``SQ_start .. SQ_{start+width-1}`` of the CQ5 scale-up workload.  Starts
+    stride through 1..17 and widths cycle 2/3/4 (clamped to the 18 available
+    components), giving 51 distinct batches that repeat for larger *count* —
+    heavy fragment overlap between batches, workers, and the warm snapshot,
+    with no randomness.
+    """
+    specs = []
+    for i in range(count):
+        start = (i * 7) % 17 + 1
+        width = 2 + i % 3
+        specs.append((start, min(width, 19 - start)))
+    return specs
+
+
+def _service_batch_queries(spec: tuple) -> List[Query]:
+    from repro.workloads.scaleup import component_query
+
+    start, width = spec
+    return [query for c in range(start, start + width) for query in component_query(c)]
+
+
+def _service_worker(worker_id: int, snapshot: bytes, specs: List[tuple],
+                    results: "object") -> None:
+    """One service worker: restore the snapshot, serve batches, report stats.
+
+    The snapshot bytes are deliberately round-tripped through
+    :meth:`OptimizerSession.from_snapshot` even though the fork start method
+    would have inherited the parent's cache for free — exercising the pickled
+    content-addressed form is the point.  The first batch is also checked for
+    exact cost agreement against a fresh one-shot optimizer, so the
+    throughput numbers cannot come from a silently wrong cache.
+    """
+    from repro.service.session import OptimizerSession
+
+    session = OptimizerSession.from_snapshot(
+        snapshot, cache_plans=True, max_plans=SERVICE_MAX_PLANS
+    )
+    latencies: List[float] = []
+    verified = False
+    for spec in specs:
+        queries = _service_batch_queries(spec)
+        start = time.perf_counter()
+        result = session.optimize(queries, "greedy")
+        latencies.append(time.perf_counter() - start)
+        if not verified:
+            reference = MQOptimizer(session.catalog).optimize(queries, "greedy")
+            assert result.cost == reference.cost, (
+                f"worker {worker_id}: warm cost {result.cost!r} != "
+                f"one-shot cost {reference.cost!r}"
+            )
+            verified = True
+    stats = session.cache_stats()
+    results.put({
+        "worker": worker_id,
+        "latencies": latencies,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "lru_evictions": stats.lru_evictions,
+        "interner_resets": stats.interner_resets,
+        "plan_hits": session.plan_hits,
+        "plan_misses": session.plan_misses,
+        "family_sizes": session.cache.family_sizes(),
+        "verified_first_batch": verified,
+    })
+
+
+def measure_service_throughput(
+    workers: int = 2, batches: int = 1000, scale: int = 1
+) -> Dict[str, object]:
+    """Serve *batches* overlapping batches from *workers* processes sharing
+    one warm, bounded fragment-cache snapshot; return throughput metrics.
+
+    The parent warms a session with :class:`SessionCacheLimits.bounded`
+    bounds, pickles it via :meth:`OptimizerSession.snapshot_state`, and hands
+    the bytes to every worker process (fork start method; the bytes travel
+    explicitly so the content-addressed pickled form is what gets restored).
+    Workers split the batch stream round-robin and time each
+    ``optimize(queries, "greedy")`` call; the parent aggregates per-batch
+    p50/p99 latency, whole-run qps, fragment hit rate, and LRU eviction
+    counts, and asserts that no cache family ever exceeds its configured
+    bound.  On a single-core container the workers time-share — qps measures
+    the *service configuration*, not parallel speedup.
+    """
+    import multiprocessing
+
+    from repro.catalog import psp_catalog
+    from repro.service.session import OptimizerSession, SessionCacheLimits
+    from repro.workloads.scaleup import scaleup_queries
+
+    limits = SessionCacheLimits.bounded(scale)
+    parent = OptimizerSession(psp_catalog(), cache_plans=False, limits=limits)
+    parent.build_dag(scaleup_queries(5))  # warm the shared fragment snapshot
+    snapshot = parent.snapshot_state()
+
+    specs = _service_batch_specs(batches)
+    context = multiprocessing.get_context("fork")
+    results_queue = context.Queue()
+    processes = [
+        context.Process(
+            target=_service_worker,
+            args=(worker_id, snapshot, specs[worker_id::workers], results_queue),
+        )
+        for worker_id in range(workers)
+    ]
+    wall_start = time.perf_counter()
+    for process in processes:
+        process.start()
+    reports = [results_queue.get() for _ in processes]
+    for process in processes:
+        process.join()
+    wall = time.perf_counter() - wall_start
+    for process in processes:
+        if process.exitcode != 0:
+            raise RuntimeError(f"service worker failed (exit {process.exitcode})")
+
+    latencies = sorted(lat for report in reports for lat in report["latencies"])
+    assert len(latencies) == batches
+    assert all(report["verified_first_batch"] for report in reports)
+    caps = {
+        family: getattr(limits, family)
+        for family in reports[0]["family_sizes"]
+        if getattr(limits, family, None) is not None
+    }
+    sizes_max = {
+        family: max(report["family_sizes"][family] for report in reports)
+        for family in reports[0]["family_sizes"]
+    }
+    for family, cap in caps.items():
+        assert sizes_max[family] <= cap, (
+            f"bounded family '{family}' exceeded its cap: "
+            f"{sizes_max[family]} > {cap}"
+        )
+    hits = sum(report["hits"] for report in reports)
+    misses = sum(report["misses"] for report in reports)
+    return {
+        "workers": workers,
+        "batches": batches,
+        "limits_scale": scale,
+        "snapshot_bytes": len(snapshot),
+        "wall_s": wall,
+        "qps": batches / wall,
+        "p50_ms": latencies[len(latencies) // 2] * 1000.0,
+        "p99_ms": latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))] * 1000.0,
+        "fragment_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "hits": hits,
+        "misses": misses,
+        "lru_evictions": sum(report["lru_evictions"] for report in reports),
+        "interner_resets": sum(report["interner_resets"] for report in reports),
+        "plan_hits": sum(report["plan_hits"] for report in reports),
+        "plan_misses": sum(report["plan_misses"] for report in reports),
+        "family_sizes_max": sizes_max,
+        "family_caps": caps,
+    }
+
+
+def print_service_table(metrics: Dict[str, object]) -> None:
+    """One summary block for :func:`measure_service_throughput`."""
+    print("\n=== service throughput (multi-worker, bounded caches) ===")
+    print(f"workers:            {metrics['workers']}")
+    print(f"batches served:     {metrics['batches']}")
+    print(f"snapshot size:      {metrics['snapshot_bytes'] / 1024:.0f} KiB")
+    print(f"throughput:         {metrics['qps']:.1f} batches/s "
+          f"({metrics['wall_s']:.2f} s wall)")
+    print(f"latency p50 / p99:  {metrics['p50_ms']:.2f} / {metrics['p99_ms']:.2f} ms")
+    print(f"fragment hit rate:  {metrics['fragment_hit_rate']:.1%} "
+          f"({metrics['hits']} hits / {metrics['misses']} misses)")
+    print(f"LRU evictions:      {metrics['lru_evictions']} "
+          f"(interner resets: {metrics['interner_resets']})")
+    print(f"plan cache:         {metrics['plan_hits']} hits / "
+          f"{metrics['plan_misses']} misses (bound {SERVICE_MAX_PLANS})")
+    sizes = metrics["family_sizes_max"]
+    caps = metrics["family_caps"]
+    over = ", ".join(
+        f"{family} {sizes[family]}/{caps[family]}"
+        for family in sorted(caps)
+        if sizes[family] > 0
+    )
+    print(f"family fill (max/cap): {over}")
 
 
 # ---------------------------------------------------------------------------
@@ -499,6 +714,15 @@ def _main(argv: List[str]) -> int:
                         help="measure the OptimizerSession warm-rebuild "
                              "scenarios (CQ5 repeat/rebuild/shifted/"
                              "stats-change) and print the speedup table")
+    parser.add_argument("--service", action="store_true",
+                        help="measure multi-worker service throughput over a "
+                             "shared bounded fragment-cache snapshot "
+                             "(p50/p99 latency, qps, hit rate)")
+    parser.add_argument("--service-workers", type=int, default=2, metavar="N",
+                        help="worker process count for --service (default: 2)")
+    parser.add_argument("--service-batches", type=int, default=1000, metavar="N",
+                        help="total batches served by --service (default: 1000; "
+                             "CI smoke uses 40)")
     parser.add_argument("--perf-gate", action="store_true",
                         help="fail if fig9 greedy, Volcano-RU, or DAG build "
                              "times regress beyond the tolerance band vs. the "
@@ -511,9 +735,9 @@ def _main(argv: List[str]) -> int:
     args = parser.parse_args(argv)
     if args.perf_gate:
         return perf_gate(args.baseline, update=args.update_baseline)
-    if not args.smoke and not args.warm:
-        parser.error("nothing to do: pass --smoke, --warm, or --perf-gate "
-                     "(the full suite runs via pytest)")
+    if not args.smoke and not args.warm and not args.service:
+        parser.error("nothing to do: pass --smoke, --warm, --service, or "
+                     "--perf-gate (the full suite runs via pytest)")
     if args.smoke:
         smoke(batch_index=args.batch, json_path=args.json)
     if args.warm:
@@ -530,6 +754,21 @@ def _main(argv: List[str]) -> int:
             with open(args.json, "w") as handle:
                 json.dump(payload, handle, indent=1, sort_keys=True)
             print(f"warm-rebuild results written to {args.json}")
+    if args.service:
+        metrics = measure_service_throughput(
+            workers=args.service_workers, batches=args.service_batches
+        )
+        print_service_table(metrics)
+        if args.json:
+            try:
+                with open(args.json) as handle:
+                    payload = json.load(handle)
+            except (FileNotFoundError, ValueError):
+                payload = {}
+            payload["service_throughput"] = metrics
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+            print(f"service results written to {args.json}")
     return 0
 
 

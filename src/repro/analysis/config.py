@@ -62,6 +62,25 @@ DEFAULT_ORDER_INSENSITIVE_CALLS: FrozenSet[str] = frozenset(
 #: through them (``x.columns[k] = v``, ``x.columns.update(...)``) are C002.
 DEFAULT_FROZEN_ATTRIBUTES: FrozenSet[str] = frozenset({"columns"})
 
+#: Constructor names whose call results count as cache tables for rule M001,
+#: in addition to dict/set literals and comprehensions.  ``BoundedCache`` is
+#: this repo's LRU-bounded cache family
+#: (:class:`repro.service.session.BoundedCache`); projects with their own
+#: cache classes add them here so M001 keeps tracking registry coverage.
+DEFAULT_CACHE_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {
+        "dict",
+        "set",
+        "frozenset",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "WeakValueDictionary",
+        "WeakKeyDictionary",
+        "BoundedCache",
+    }
+)
+
 #: Cache-owning classes mapped to the method that declares their
 #: invalidation story.  Every dict/set-valued ``self.*`` attribute created in
 #: the class ``__init__`` must be referenced by that method (or carry a
@@ -85,6 +104,7 @@ class LintConfig:
     set_returning: FrozenSet[str] = DEFAULT_SET_RETURNING
     order_insensitive_calls: FrozenSet[str] = DEFAULT_ORDER_INSENSITIVE_CALLS
     frozen_attributes: FrozenSet[str] = DEFAULT_FROZEN_ATTRIBUTES
+    cache_constructors: FrozenSet[str] = DEFAULT_CACHE_CONSTRUCTORS
     registries: Mapping[str, str] = field(default_factory=lambda: dict(DEFAULT_REGISTRIES))
 
 
@@ -115,6 +135,13 @@ def config_from_mapping(data: Mapping[str, Any]) -> LintConfig:
             config,
             frozen_attributes=frozenset(
                 _coerce_str_tuple(data["frozen_attributes"], "frozen_attributes")
+            ),
+        )
+    if "cache_constructors" in data:
+        config = replace(
+            config,
+            cache_constructors=frozenset(
+                _coerce_str_tuple(data["cache_constructors"], "cache_constructors")
             ),
         )
     if "registries" in data:

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.analysis.config import LintConfig
 
@@ -504,30 +504,22 @@ class _FunctionChecker(ast.NodeVisitor):
 # M001: memo-table registry coherence
 # ---------------------------------------------------------------------------
 
-_CACHE_CONSTRUCTORS = frozenset(
-    {
-        "dict",
-        "set",
-        "frozenset",
-        "defaultdict",
-        "OrderedDict",
-        "Counter",
-        "WeakValueDictionary",
-        "WeakKeyDictionary",
-    }
-)
+def _is_cache_value(node: Optional[ast.expr], constructors: FrozenSet[str]) -> bool:
+    """Dict/set-shaped initializer: the memo-table signature M001 tracks.
 
-
-def _is_cache_value(node: Optional[ast.expr]) -> bool:
-    """Dict/set-shaped initializer: the memo-table signature M001 tracks."""
+    *constructors* comes from :attr:`LintConfig.cache_constructors`, so
+    project-specific cache classes (``BoundedCache`` here) stay tracked.
+    """
     if node is None:
         return False
     if isinstance(node, (ast.Dict, ast.Set, ast.DictComp, ast.SetComp)):
         return True
     if isinstance(node, ast.Call):
-        return _call_name(node) in _CACHE_CONSTRUCTORS
+        return _call_name(node) in constructors
     if isinstance(node, ast.IfExp):
-        return _is_cache_value(node.body) or _is_cache_value(node.orelse)
+        return _is_cache_value(node.body, constructors) or _is_cache_value(
+            node.orelse, constructors
+        )
     return False
 
 
@@ -581,7 +573,7 @@ def check_registries(tree: ast.Module, config: LintConfig) -> List[Finding]:
                 target, value = stmt.targets[0], stmt.value
             elif isinstance(stmt, ast.AnnAssign):
                 target, value = stmt.target, stmt.value
-            if target is None or not _is_cache_value(value):
+            if target is None or not _is_cache_value(value, config.cache_constructors):
                 continue
             attr = _self_attr(target)
             if attr is not None and attr not in mentioned:

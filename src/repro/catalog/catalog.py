@@ -15,6 +15,13 @@ increasing counters are maintained:
   statistics-only mutations (:meth:`update_statistics`).  Caches tag their
   entries with the relations they depend on and evict *only* entries touching
   a relation whose version moved (targeted invalidation).
+
+The counters are complemented by per-relation statistics **content digests**
+(:meth:`Catalog.stats_digests`): session caches compare digests, not
+counters, so even a table object swapped in behind the catalog's back (no
+epoch bump) is detected on the next build, and cache state can be shared
+across processes (counters depend on one catalog's mutation history;
+digests depend only on the statistics themselves).
 """
 
 from __future__ import annotations
@@ -120,6 +127,19 @@ class Catalog:
     def stats_versions(self) -> Dict[str, int]:
         """Snapshot of every relation's statistics version."""
         return dict(self._stats_versions)
+
+    def stats_digests(self) -> Dict[str, str]:
+        """Per-relation statistics *content* digests (see ``Table.stats_digest``).
+
+        Unlike :meth:`stats_versions`, these are derived from the statistics
+        themselves, not from mutation counters — so they also move when a
+        table object is swapped in behind the catalog's back without going
+        through :meth:`update_statistics`, and they are stable across
+        processes (version counters depend on a catalog's mutation history).
+        The per-table digests are memoized, so taking this snapshot is a dict
+        comprehension over cached strings.
+        """
+        return {name: table.stats_digest() for name, table in self._tables.items()}
 
     # -- lookup ---------------------------------------------------------------
     def table(self, name: str) -> Table:

@@ -8,6 +8,7 @@ estimating costs, using statistics about relations").
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple, Union
 
@@ -73,6 +74,7 @@ class Table:
 
     def __post_init__(self) -> None:
         self._by_name: Dict[str, Column] = {c.name: c for c in self.columns}
+        self._stats_digest: Optional[str] = None
         if len(self._by_name) != len(self.columns):
             raise ValueError(f"duplicate column names in table {self.name!r}")
 
@@ -94,6 +96,36 @@ class Table:
         return sum(c.width for c in self.columns)
 
     # -- statistics ----------------------------------------------------------
+    def stats_digest(self) -> str:
+        """Content digest of everything the optimizer reads from this table.
+
+        Covers the row count, every column's statistics (width, distinct,
+        bounds — ``repr``-level, so int/float and sign-of-zero distinctions
+        survive), and the index set (index choices feed plan costs too).
+        Independent of ``PYTHONHASHSEED`` and of the process that computes
+        it: :meth:`repro.service.session.SessionCache.sync` compares these
+        digests on every build, which is what catches statistics mutated
+        *behind the catalog's back* (no epoch bump) as well as ordinary
+        updates.  Memoized per instance — catalog mutations replace the
+        :class:`Table` object rather than mutating it, so the memo can never
+        go stale.
+        """
+        digest = self._stats_digest
+        if digest is None:
+            payload = repr(
+                (
+                    self.name,
+                    self.row_count,
+                    tuple(
+                        (c.name, c.width, c.distinct, c.low, c.high) for c in self.columns
+                    ),
+                    tuple((i.table, i.column, i.clustered) for i in self.indexes),
+                )
+            )
+            digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            self._stats_digest = digest
+        return digest
+
     def distinct(self, column: str) -> int:
         """Distinct-value count for *column* (defaults to the row count)."""
         col = self.column(column)

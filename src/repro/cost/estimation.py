@@ -29,16 +29,19 @@ Two engineering properties of this layer matter to everything above it:
   different fold order can differ in the last ulp.  Everything that persists
   an estimate across contexts therefore either fixes a canonical order
   (sorted predicate strings, see ``DagBuilder._join_properties``) or keys on
-  the identity of the input properties objects (the catalog-lifetime session
-  caches of :mod:`repro.service.session`) — never on value-equality of
-  floats.  Statistics enter only through the catalog, whose
-  statistics/schema epochs drive cache invalidation.
+  the exact *content* of the input properties objects — IEEE-754 bit
+  patterns plus column insertion order, :meth:`LogicalProperties.content_key`,
+  used by the catalog-lifetime session caches of
+  :mod:`repro.service.session` — never on tolerance-style float comparison.
+  Statistics enter only through the catalog, whose statistics digests and
+  schema epoch drive cache invalidation.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.algebra.columns import ColumnRef
 from repro.algebra.predicates import (
@@ -57,6 +60,18 @@ DEFAULT_SELECTIVITY = 1.0 / 3.0
 DEFAULT_EQUALITY_SELECTIVITY = 0.1
 #: Floor for estimated row counts: never below one row.
 MIN_ROWS = 1.0
+
+#: IEEE-754 little-endian double packer: the bit pattern distinguishes
+#: ``-0.0`` from ``0.0`` and every NaN payload, exactly like the ``repr``
+#: based DAG fingerprints used by the differential oracles.
+_pack_double = struct.Struct("<d").pack
+
+#: Content key of one column's statistics: ``(ref, distinct bits, width,
+#: low bits or None, high bits or None)``.
+ColumnContentKey = Tuple[ColumnRef, bytes, int, Optional[bytes], Optional[bytes]]
+#: Content key of a :class:`LogicalProperties` instance: ``(row bits,
+#: per-column keys in insertion order)``.
+PropsContentKey = Tuple[bytes, Tuple[ColumnContentKey, ...]]
 
 
 @dataclass(frozen=True)
@@ -104,6 +119,41 @@ class LogicalProperties:
                 width = max(1, sum(stat.width for stat in self.columns.values()))
             object.__setattr__(self, "_tuple_width", width)  # repro-lint: ok(C002) idempotent memo of a pure derived value on a frozen instance
         return width
+
+    def content_key(self) -> PropsContentKey:
+        """Canonical value identity of this instance (content addressing).
+
+        The key captures everything any derived computation can read from
+        the instance: the row estimate and each column's statistics as
+        IEEE-754 **bit patterns** (so ``-0.0``/``0.0`` and NaNs stay
+        distinct, matching the ``repr``-level strictness of the DAG
+        fingerprints), plus the column dictionary in **insertion order**
+        (width sums and selectivity folds iterate it, and float folds are
+        order-sensitive).  Two instances with equal content keys are
+        therefore interchangeable inputs to every pure fold — they yield
+        bit-identical results — which is what lets the session caches of
+        :mod:`repro.service.session` key on content instead of object
+        identity.  Computed once per instance and memoized in ``__dict__``
+        like :attr:`tuple_width`.
+        """
+        key: Optional[PropsContentKey] = self.__dict__.get("_content_key")
+        if key is None:
+            pack = _pack_double
+            key = (
+                pack(self.rows),
+                tuple(
+                    (
+                        ref,
+                        pack(stat.distinct),
+                        stat.width,
+                        None if stat.low is None else pack(stat.low),
+                        None if stat.high is None else pack(stat.high),
+                    )
+                    for ref, stat in self.columns.items()
+                ),
+            )
+            object.__setattr__(self, "_content_key", key)  # repro-lint: ok(C002) idempotent memo of a pure derived value on a frozen instance
+        return key
 
     def column(self, ref: ColumnRef) -> Optional[ColumnStats]:
         return self.columns.get(ref)

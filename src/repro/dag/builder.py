@@ -51,12 +51,14 @@ triples, whole partition-enumeration *recipes* for canonical join nodes,
 block shapes, weak-join build plans and predicate implications are then
 consulted before the per-build memos, making warm rebuilds of overlapping
 batches several times cheaper.  Session entries are keyed on canonical
-equivalence keys plus the *identity* of the input properties objects (float
-folds are evaluation-order sensitive — identity is what keeps warm rebuilds
-byte-identical) and are invalidated through the catalog's statistics/schema
-epochs; see :mod:`repro.service.session`.  The reference builder never uses
-a session: it remains the oracle that cold, warm, and post-invalidation
-session builds are fingerprint-compared against
+equivalence keys plus the *content* of the input properties objects
+(:meth:`~repro.cost.estimation.LogicalProperties.content_key` — IEEE-754 bit
+patterns and column order, so float folds over equal-content inputs are
+bit-identical; leaf entries additionally embed the relation's statistics
+digest) and are invalidated through the catalog's statistics digests and
+schema epoch; see :mod:`repro.service.session`.  The reference builder never
+uses a session: it remains the oracle that cold, warm, post-invalidation,
+and cross-process session builds are fingerprint-compared against
 (``tests/test_session_cache.py``).
 """
 
@@ -410,7 +412,7 @@ class DagBuilder:
         self._node_pid: Dict[int, int] = {}
         self._node_deps: Dict[int, int] = {}
         self._kid_node: Dict[int, EquivalenceNode] = {}
-        self._table_tag_cache: Dict[str, Tuple[Optional[FrozenSet[str]], int]] = {}
+        self._table_tag_cache: Dict[str, Tuple[Optional[FrozenSet[str]], int, int]] = {}
         self._build_deps_id = 0 if session is None else session.empty_deps_id
 
     def _pred_key(self, predicate: Predicate) -> str:
@@ -445,8 +447,8 @@ class DagBuilder:
         self._kid_node.setdefault(kid, node)
         self._build_deps_id = session.union_deps(self._build_deps_id, deps_id)
 
-    def _leaf_tag_deps(self, table: str) -> Tuple[Optional[FrozenSet[str]], int]:
-        """Prune tag and deps id of base/scan nodes over *table*.
+    def _leaf_tag_deps(self, table: str) -> Tuple[Optional[FrozenSet[str]], int, int]:
+        """Prune tag, deps id, and statistics-digest id of leaves over *table*.
 
         The tag — the batch-referenced subset of the table's column names —
         is what scan output properties depend on besides the scan key (early
@@ -454,7 +456,9 @@ class DagBuilder:
         key.  ``None`` marks a pruning-disabled build, keeping it keyed
         apart from a pruning build in which the table merely has no
         referenced columns.  The deps set is the invalidation anchor:
-        ``{table}``.
+        ``{table}``.  The digest id pins the statistics *content* the leaf
+        entry was computed from, so a leaf key can never alias a
+        pre-mutation snapshot even if eviction were skipped.
         """
         cached = self._table_tag_cache.get(table)
         if cached is None:
@@ -465,7 +469,8 @@ class DagBuilder:
                 names = self.catalog.table(table).column_names()
                 tag = frozenset(name for name in names if name in referenced)
             deps_id = self._session.deps_id(frozenset((table.lower(),)))
-            cached = (tag, deps_id)
+            digest_id = self._session.table_digest_id(table)
+            cached = (tag, deps_id, digest_id)
             self._table_tag_cache[table] = cached
         return cached
 
@@ -583,13 +588,13 @@ class DagBuilder:
             return existing
         session = self._session
         if session is not None:
-            tag, deps_id = self._leaf_tag_deps(table)
+            tag, deps_id, digest_id = self._leaf_tag_deps(table)
             kid = session.key_id(key)
             # The predicate *order* is part of the cache key: ``and_`` folds
             # conjuncts (and the estimator folds selectivities) in call
             # order, and the entry must return exactly what this call would
             # compute.
-            cache_key = (kid, tuple(predicates), tag)
+            cache_key = (kid, tuple(predicates), tag, digest_id)
             entry = session.scans.get(cache_key)
             if entry is not None:
                 session.stats.hits += 1
@@ -627,15 +632,15 @@ class DagBuilder:
         if session is None:
             props = self.estimator.base_properties(table, alias)
         else:
-            _, deps_id = self._leaf_tag_deps(table)
-            entry = session.base_props.get((table, alias))
+            _, deps_id, digest_id = self._leaf_tag_deps(table)
+            entry = session.base_props.get((table, alias, digest_id))
             if entry is not None:
                 session.stats.hits += 1
                 props = entry[0]
             else:
                 session.stats.misses += 1
                 props = self.estimator.base_properties(table, alias)
-                session.base_props[(table, alias)] = (props, deps_id)
+                session.base_props[(table, alias, digest_id)] = (props, deps_id)
         node = self.dag.equivalence(
             key, props, f"table({alias})", is_base=True, base_table=table, scan_alias=alias
         )

@@ -39,12 +39,12 @@ subsumption derivations).
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Mapping, NoReturn, Optional, Set, Tuple
 
 from repro.dag.nodes import Dag, EquivalenceNode, OperationNode
 from repro.optimizer.costing import INFINITE_COST, compute_node_costs
 from repro.optimizer.engine import CostEngine, CostTableView, get_engine
-from repro.optimizer.plans import ConsolidatedPlan
+from repro.optimizer.plans import ConsolidatedPlan, PlanError
 from repro.optimizer.report import OptimizationResult
 from repro.optimizer.volcano import consolidated_best_plan
 
@@ -83,9 +83,19 @@ def _plan_costs(
     engine: CostEngine,
     choice_entry: List[Optional[Tuple[float, Tuple[Tuple[int, float], ...]]]],
     materialized: Set[int],
+    reachable: Optional[bytearray] = None,
 ) -> List[float]:
     """Dense kernel behind :func:`plan_node_costs`: per-node cost through the
-    chosen operation entry (argmin over ``op_specs`` where no entry exists)."""
+    chosen operation entry (argmin over ``op_specs`` where no entry exists).
+
+    When *reachable* flags are supplied (the Volcano-SH pass does), a
+    reachable non-base node without a chosen entry raises
+    :class:`~repro.optimizer.plans.PlanError` instead of silently falling
+    back to the argmin: a consolidated plan must cover its reachable cone
+    (see :func:`_require_choice`).  The argmin fallback remains for
+    *unreachable* nodes — pricing the whole DAG is part of this function's
+    contract (subsumption children swapped into the plan still need a cost).
+    """
     reuse_cost = engine.reuse_cost
     is_base = engine.is_base
     op_specs = engine.op_specs
@@ -98,6 +108,8 @@ def _plan_costs(
             cost = 0.0
         else:
             entry = choice_entry[node_id]
+            if entry is None and reachable is not None and reachable[node_id]:
+                _require_choice(engine, node_id)
             if entry is not None:
                 cost, children = entry
                 for child_id, multiplier in children:
@@ -130,6 +142,25 @@ def _plan_costs(
             else:
                 effective[node_id] = cost
     return costs
+
+
+def _require_choice(engine: CostEngine, node_id: int) -> NoReturn:
+    """Raise the reachable-cone invariant violation for *node_id*.
+
+    A consolidated plan assigns a chosen operation to every non-base node
+    (:func:`~repro.optimizer.costing.best_operations`), and the reachability
+    walk only descends through chosen entries — so a *reachable* non-base
+    node without an entry means the plan is malformed (hand-edited choices,
+    or a node whose every alternative costed infinite sitting inside the
+    plan cone).  This used to be a silent defensive argmin fallback, which
+    would price such a node differently from the plan that claimed to
+    contain it; ROADMAP flags the checked invariant as the prerequisite for
+    sweeping the decision pass over the reachable cone only.
+    """
+    raise PlanError(
+        f"Volcano-SH invariant violated: reachable non-base node {node_id} has "
+        "no chosen operation (a consolidated plan must cover its reachable cone)"
+    )
 
 
 def _reachable_flags(
@@ -192,8 +223,8 @@ def volcano_sh_pass(
         choice_op[node_id] = op_id
         choice_entry[node_id] = op_entries[op_id]
 
-    baseline_costs = _plan_costs(engine, choice_entry, set())
     reachable = _reachable_flags(engine, choice_entry)
+    baseline_costs = _plan_costs(engine, choice_entry, set(), reachable)
 
     # Pre-pass: swap applicable subsumption derivations into the plan.  A swap
     # is only made if, assuming its source does get materialized, the node is
@@ -260,17 +291,9 @@ def volcano_sh_pass(
             continue
         entry = choice_entry[node_id]
         if entry is None:
-            # Not actually part of the plan (defensive); use cheapest op.
-            best_key = INFINITE_COST
-            for op_id in op_ids[node_id]:
-                local_cost, children = op_entries[op_id]
-                key = local_cost + sum(
-                    multiplier * (costs[child_id] if has_cost[child_id] else 0.0)
-                    for child_id, multiplier in children
-                )
-                if key < best_key:
-                    best_key = key
-                    entry = op_entries[op_id]
+            # Checked invariant (formerly a silent argmin fallback): every
+            # reachable non-base node must carry a chosen operation.
+            _require_choice(engine, node_id)
         local_cost, children = entry
         cost = local_cost
         for child_id, multiplier in children:
@@ -350,7 +373,7 @@ def volcano_sh_pass(
     if undone:
         reachable = _reachable_flags(engine, choice_entry)
     materialized = {node_id for node_id in materialized if reachable[node_id]}
-    final_costs = _plan_costs(engine, choice_entry, materialized)
+    final_costs = _plan_costs(engine, choice_entry, materialized, reachable)
     total = final_costs[root_id]
     for node_id in sorted(materialized):
         total += final_costs[node_id] + mat_cost[node_id]

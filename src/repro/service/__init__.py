@@ -10,9 +10,33 @@ provides the state that makes those warm rebuilds cheap:
   cache consulted by :class:`repro.dag.builder.DagBuilder`;
 * :class:`repro.service.session.OptimizerSession` — the public façade: a plan
   cache over whole batches plus ``build_dag``/``optimize`` entry points that
-  thread the fragment cache through every build.
+  thread the fragment cache through every build;
+* :class:`repro.service.session.SessionCacheLimits` /
+  :class:`repro.service.session.BoundedCache` — per-family LRU bounds for
+  long-lived deployments;
+* :class:`repro.service.session.CacheWarmer` — a background thread that pre-
+  populates a session's fragment cache from a queue of anticipated batches.
+
+Since PR 7 every cache key is *content-addressed* (canonical equivalence keys
+plus per-relation statistics digests, never ``id()``), so a warm
+``SessionCache`` can be pickled with :meth:`OptimizerSession.snapshot_state`
+and fanned out to worker processes via :meth:`OptimizerSession.from_snapshot`.
 """
 
-from repro.service.session import OptimizerSession, SessionCache
+from repro.service.session import (
+    BoundedCache,
+    CacheWarmer,
+    OptimizerSession,
+    SessionCache,
+    SessionCacheLimits,
+    SessionCacheStats,
+)
 
-__all__ = ["OptimizerSession", "SessionCache"]
+__all__ = [
+    "BoundedCache",
+    "CacheWarmer",
+    "OptimizerSession",
+    "SessionCache",
+    "SessionCacheLimits",
+    "SessionCacheStats",
+]

@@ -1,4 +1,4 @@
-"""Catalog-lifetime plan cache and warm-rebuild sessions.
+"""Catalog-lifetime plan cache, warm-rebuild sessions, and the service path.
 
 The PR 4 builder memo tables are *per build*: a fresh
 :class:`~repro.dag.builder.DagBuilder` starts cold, so a service that
@@ -12,13 +12,14 @@ keys* (the same keys that unify sub-expressions inside one DAG, so they are
 stable across builds), interned to dense ids, plus whatever order-sensitive
 inputs the cached computation consumed:
 
-* base-table properties per ``(table, alias)``;
+* base-table properties per ``(table, alias, statistics digest)``;
 * scan-choice entries — derived
   :class:`~repro.cost.estimation.LogicalProperties`, chosen access path and
-  cost — per scan key, pushed-down predicate order, and *prune tag* (the
-  batch-referenced columns of the table, which drive early projection);
+  cost — per scan key, pushed-down predicate order, *prune tag* (the
+  batch-referenced columns of the table, which drive early projection), and
+  statistics digest;
 * derived select/project/aggregate entries (properties + operation cost)
-  keyed on the **identity** of the child's properties object;
+  keyed on the **content** of the child's properties object;
 * join :class:`~repro.cost.estimation.LogicalProperties` per join key and
   ordered member properties;
 * join-operation cost triples — the
@@ -29,54 +30,475 @@ inputs the cached computation consumed:
   ordered operation list, so a warm rebuild replays it without enumerating
   partitions or re-costing anything;
 * weak-join resolution and predicate-implication results for the subsumption
-  pass (pure predicate logic, catalog-independent, never evicted).
+  pass (pure predicate logic, catalog-independent, never invalidated).
 
-Identity-keying is what makes warm rebuilds *byte-identical* rather than
-merely close: float folds in the estimator are evaluation-order sensitive, so
-a cached value is only reused when its inputs are the very objects it was
-computed from.  Warm rebuilds reuse cached properties objects bottom-up, so
-the identities match all the way to the root; after an invalidation the
-affected leaves are recomputed as fresh objects and every dependent fragment
-misses automatically.
+**Content addressing** (PR 7) is what makes warm rebuilds *byte-identical*
+rather than merely close: float folds in the estimator are evaluation-order
+sensitive, so a cached value may only be reused when its inputs would fold to
+bit-identical results.  Properties objects are interned by
+:meth:`~repro.cost.estimation.LogicalProperties.content_key` — IEEE-754 bit
+patterns of every statistic plus column insertion order — so two properties
+with the same content id are interchangeable in every pure fold, and leaf
+entries additionally embed the owning relation's statistics digest
+(:meth:`~repro.catalog.schema.Table.stats_digest`).  Every downstream key is
+derived from those leaf contents, so a cached fragment can never alias a
+pre-mutation snapshot, and — unlike the identity-keyed scheme this replaced
+(see ``tests/analysis_fixtures/historical_pr7.py``) — the whole cache
+pickles: keys mean the same thing in any process, which is what enables the
+multi-worker service path below.
 
 **Invalidation.**  Every catalog-dependent entry carries the set of base
-relations it reads.  :meth:`SessionCache.sync` compares the catalog's epochs
-(:attr:`~repro.catalog.catalog.Catalog.statistics_epoch` /
-:attr:`~repro.catalog.catalog.Catalog.schema_epoch`) against the last
-synchronized state: a statistics-only change evicts exactly the entries
-depending on a relation whose
-:meth:`~repro.catalog.catalog.Catalog.stats_version` moved, a schema change
-clears everything.  Validation happens once per build — never per cache hit.
+relations it reads.  :meth:`SessionCache.sync` runs once per build (never
+per cache hit) and compares the catalog's per-relation statistics *digests*
+(:meth:`~repro.catalog.catalog.Catalog.stats_digests`) against the last
+synchronized snapshot — not just the mutation epochs, so even statistics
+swapped in behind the catalog's back are caught.  A statistics change evicts
+exactly the entries depending on a changed relation; a schema change
+(:attr:`~repro.catalog.catalog.Catalog.schema_epoch`) clears everything.
+
+**Bounds.**  Each cache family is a :class:`BoundedCache` — a dict with an
+optional LRU ``maxsize`` (:class:`SessionCacheLimits`).  Content addressing
+is what makes LRU eviction safe: an evicted fragment is recomputed to the
+same content, hence the same interned ids, so surviving dependent entries
+(recipes included) still replay byte-identically.  Unbounded by default;
+long-lived services pass explicit limits (``SessionCacheLimits.bounded()``).
 
 :class:`OptimizerSession` — the **service façade**: it owns a
 :class:`SessionCache`, adds a batch-level plan cache (batch → built DAG and
 per-algorithm :class:`~repro.optimizer.report.OptimizationResult`), and
 exposes ``build_dag`` / ``optimize`` / ``optimize_all`` mirrors of
-:class:`~repro.api.MQOptimizer`.
+:class:`~repro.api.MQOptimizer`.  For multi-process deployments,
+:meth:`OptimizerSession.snapshot_state` pickles the fragment cache and
+:meth:`OptimizerSession.from_snapshot` rebuilds a warm session from those
+bytes in another process; :class:`CacheWarmer` is a background thread that
+drains a queue of *anticipated* batches through the session (the
+queue-driven cache-population pattern of PartitionCache's pcache-observer),
+so fragments are warm before a client asks.
 
 Correctness is anchored the same way as every other fast path in this repo:
 the session-backed builder must produce DAGs byte-identical
 (``tests.generators.dag_fingerprint``) to the memo-free reference builder
 (``DagBuilder(..., memoize=False)``) on cold builds, warm rebuilds, shifted
-overlapping batches, and post-invalidation rebuilds —
-``tests/test_session_cache.py`` enforces all four.
+overlapping batches, post-invalidation rebuilds, and rebuilds from a pickled
+snapshot in a different process — ``tests/test_session_cache.py`` enforces
+all of them.
 
-Sessions are not thread-safe; use one session per worker.
+A session serializes its own calls with an internal lock, so a foreground
+caller and a :class:`CacheWarmer` can share one session; for parallelism use
+one session (or one worker process seeded via snapshot) per worker.
 """
 
 from __future__ import annotations
 
+import pickle
+import queue
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.algebra.predicates import Predicate
 from repro.api import Algorithm, MQOptimizer, PAPER_ALGORITHMS
 from repro.catalog.catalog import Catalog
-from repro.cost.estimation import LogicalProperties
+from repro.cost.estimation import LogicalProperties, PropsContentKey
 from repro.cost.model import CostModel, DEFAULT_COST_MODEL
 from repro.dag.builder import DagBuilder, Query, RecipeEntry
 from repro.dag.nodes import Dag, JoinOp, ScanOp
 from repro.optimizer import GreedyOptions, OptimizationResult
+
+_MISSING: Any = object()
+
+
+def _restore_bounded(
+    maxsize: Optional[int], evictions: int, items: List[Tuple[Any, Any]]
+) -> "BoundedCache":
+    """Unpickle helper for :class:`BoundedCache` (module-level for pickle)."""
+    cache = BoundedCache(maxsize)
+    for key, value in items:
+        dict.__setitem__(cache, key, value)
+    cache.evictions = evictions
+    return cache
+
+
+class BoundedCache(Dict[Any, Any]):
+    """A dict with an optional LRU bound, used for every cache family.
+
+    With ``maxsize=None`` (the default) this is a plain dict with zero
+    overhead on the hot paths.  With a bound, :meth:`get`/:meth:`setdefault`
+    refresh recency (delete + reinsert, exploiting dict insertion order) and
+    :meth:`__setitem__` evicts the least-recently-used entry once full,
+    counting evictions in :attr:`evictions`.  Eviction order is pure
+    insertion/access order — no hash-order dependence — and pickling
+    preserves entries, order, bound, and the eviction counter.
+    """
+
+    def __init__(self, maxsize: Optional[int] = None) -> None:
+        super().__init__()
+        self.maxsize = maxsize
+        self.evictions = 0
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        if self.maxsize is None:
+            return dict.get(self, key, default)
+        value = dict.pop(self, key, _MISSING)
+        if value is _MISSING:
+            return default
+        dict.__setitem__(self, key, value)
+        return value
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        if self.maxsize is None:
+            return dict.setdefault(self, key, default)
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            self[key] = default
+            return default
+        return value
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        maxsize = self.maxsize
+        if maxsize is not None and len(self) >= maxsize and key not in self:
+            dict.__delitem__(self, next(iter(self)))
+            self.evictions += 1
+        dict.__setitem__(self, key, value)
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (_restore_bounded, (self.maxsize, self.evictions, list(self.items())))
+
+
+@dataclass(frozen=True)
+class SessionCacheLimits:
+    """Per-family LRU bounds for a :class:`SessionCache`.
+
+    ``None`` means unbounded (the default everywhere: a single catalog's
+    fragment universe is finite and warm-rebuild benchmarks want maximal
+    reuse).  Long-lived services serving many distinct batches should pass
+    explicit bounds — :meth:`bounded` is a ready-made profile.
+    ``max_interned`` guards the id interners, which grow monotonically even
+    when the entry caches are bounded: when the interned-key count passes the
+    guard at a sync point, the session performs a counted full reset
+    (:attr:`SessionCacheStats.interner_resets`) and starts cold.
+    """
+
+    base_props: Optional[int] = None
+    scans: Optional[int] = None
+    derived: Optional[int] = None
+    join_props: Optional[int] = None
+    join_ops: Optional[int] = None
+    join_recipes: Optional[int] = None
+    block_shapes: Optional[int] = None
+    block_keys: Optional[int] = None
+    weak_joins: Optional[int] = None
+    implications: Optional[int] = None
+    max_interned: Optional[int] = None
+
+    @classmethod
+    def bounded(cls, scale: int = 1) -> "SessionCacheLimits":
+        """A bounded profile sized for a long-lived service (``scale``×)."""
+        return cls(
+            base_props=256 * scale,
+            scans=1_024 * scale,
+            derived=4_096 * scale,
+            join_props=4_096 * scale,
+            join_ops=8_192 * scale,
+            join_recipes=2_048 * scale,
+            block_shapes=256 * scale,
+            block_keys=1_024 * scale,
+            weak_joins=2_048 * scale,
+            implications=8_192 * scale,
+            max_interned=65_536 * scale,
+        )
+
+
+@dataclass
+class SessionCacheStats:
+    """Hit/miss/eviction counters of one :class:`SessionCache`.
+
+    ``evicted_entries`` counts *invalidation* evictions (catalog changes and
+    manual ``invalidate`` calls); ``lru_evictions`` counts capacity evictions
+    from bounded families.  ``entries`` and ``lru_evictions`` are filled by
+    :meth:`SessionCache.snapshot` (they are derived from the cache tables,
+    not maintained incrementally).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+    builds: int = 0
+    stats_invalidations: int = 0
+    schema_invalidations: int = 0
+    evicted_entries: int = 0
+    lru_evictions: int = 0
+    interner_resets: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SessionCache:
+    """Catalog-lifetime fragment cache shared by successive DAG builds.
+
+    The cache is bound to one catalog and one cost model;
+    :class:`~repro.dag.builder.DagBuilder` refuses a session built against
+    different ones, because every cached value bakes their state in.  See the
+    module docstring for the entry taxonomy, the content-addressing contract,
+    and the invalidation rules.  The whole object pickles (the catalog
+    travels with it); see :meth:`OptimizerSession.snapshot_state`.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        limits: Optional[SessionCacheLimits] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.cost_model = cost_model
+        self.limits = limits or SessionCacheLimits()
+        # Canonical equivalence keys -> dense ids (hashed once per node per
+        # build; the fragment caches below are keyed on the ids).
+        self._key_ids: Dict[Hashable, int] = {}  # repro-lint: ok(M001) catalog-independent: interns canonical keys by value
+        # LogicalProperties content keys -> dense ids.  Content addressing:
+        # two properties objects with equal content keys fold to bit-identical
+        # results everywhere, so they share one id — across builds, across
+        # processes, and across recomputation after an LRU eviction.
+        self._props_ids: Dict[PropsContentKey, int] = {}  # repro-lint: ok(M001) content interner; ids are stable because keys are values, never object identities
+        # Relation statistics digests -> dense ids, embedded in leaf cache
+        # keys so a leaf entry can never be served for different statistics.
+        self._digest_ids: Dict[str, int] = {}  # repro-lint: ok(M001) content interner over catalog digests; stale leaf keys simply stop being looked up
+        self._deps = _DepsInterner()
+        self.empty_deps_id = self._deps.intern(frozenset())
+        limits_ = self.limits
+        # -- fragment caches (values end with the interned deps id) ----------
+        #: (table, alias, stats digest id) -> (props, deps)
+        self.base_props: BoundedCache = BoundedCache(limits_.base_props)
+        #: (scan key id, predicate order, prune tag, stats digest id) ->
+        #: (props, label, ScanOp, cost, deps)
+        self.scans: BoundedCache = BoundedCache(limits_.scans)
+        #: ("select", child props id, predicate order) /
+        #: ("project", child props id, columns) /
+        #: ("agg", child props id, agg key id) -> (props, cost, deps)
+        self.derived: BoundedCache = BoundedCache(limits_.derived)
+        #: (join key id, ordered member props ids) -> (props, deps)
+        self.join_props: BoundedCache = BoundedCache(limits_.join_props)
+        #: (result kid, left kid, right kid, result/left/right props ids) ->
+        #: (JoinOp, cost, deps)
+        self.join_ops: BoundedCache = BoundedCache(limits_.join_ops)
+        #: (join key id, result props id) -> (entries, deps); one entry is
+        #: (left kid, left props id, right kid, right props id, JoinOp,
+        #: cost), in enumeration order.
+        self.join_recipes: BoundedCache = BoundedCache(limits_.join_recipes)
+        # -- catalog-independent caches (never *invalidated*; LRU only) ------
+        #: (n, adjacency bitmasks, predicate bitmasks) -> _BlockShape: the
+        #: connected-subset list, applicability, canonicality, and partition
+        #: enumeration of a join block — pure combinatorics shared across
+        #: blocks and builds (see :class:`repro.dag.builder._BlockShape`).
+        self.block_shapes: BoundedCache = BoundedCache(limits_.block_shapes)  # repro-lint: ok(M001) pure combinatorics of the shape key; catalog-independent
+        #: (shape key, ordered leaf key ids, block predicates) ->
+        #: {mask: (join equivalence key, applicable predicates, key id)} —
+        #: the canonical identity of every connected sub-set of a block, a
+        #: pure function of the leaf keys and predicates (filled lazily).
+        self.block_keys: BoundedCache = BoundedCache(limits_.block_keys)  # repro-lint: ok(M001) pure function of leaf keys + predicates; catalog-independent
+        #: weak-join memo key -> ordered build plan (sorted weak scans plus
+        #: ordered join predicates); pure predicate structure, see
+        #: :func:`repro.dag.subsumption._weak_join_node`.
+        self.weak_joins: BoundedCache = BoundedCache(limits_.weak_joins)  # repro-lint: ok(M001) pure predicate structure; catalog-independent
+        #: (stronger predicate set, weaker predicate set) -> bool
+        self.implications: BoundedCache = BoundedCache(limits_.implications)  # repro-lint: ok(M001) pure predicate logic; never invalidated
+        # -- invalidation state ----------------------------------------------
+        self._synced_schema_epoch = catalog.schema_epoch
+        self._synced_digests = catalog.stats_digests()
+        #: Bumped by every eviction (sync-driven or manual) so that holders
+        #: of derived state — the :class:`OptimizerSession` plan cache — can
+        #: notice invalidations performed directly on this object.
+        self.generation = 0
+        self.stats = SessionCacheStats()
+
+    # -- interning (used by the builder) --------------------------------------
+    def key_id(self, key: Hashable) -> int:
+        ids = self._key_ids
+        ident = ids.get(key)
+        if ident is None:
+            ident = len(ids)
+            ids[key] = ident
+        return ident
+
+    def props_id(self, props: LogicalProperties) -> int:
+        ids = self._props_ids
+        key = props.content_key()
+        ident = ids.get(key)
+        if ident is None:
+            ident = len(ids)
+            ids[key] = ident
+        return ident
+
+    def table_digest_id(self, table: str) -> int:
+        """Dense id of *table*'s current statistics digest (leaf key part)."""
+        ids = self._digest_ids
+        digest = self.catalog.table(table).stats_digest()
+        ident = ids.get(digest)
+        if ident is None:
+            ident = len(ids)
+            ids[digest] = ident
+        return ident
+
+    def deps_id(self, deps: FrozenSet[str]) -> int:
+        return self._deps.intern(deps)
+
+    def union_deps(self, a: int, b: int) -> int:
+        return self._deps.union(a, b)
+
+    def deps_of(self, deps_id: int) -> FrozenSet[str]:
+        return self._deps.value(deps_id)
+
+    def interned_count(self) -> int:
+        """Total interned ids (keys, properties contents, digests, deps)."""
+        return (
+            len(self._key_ids)
+            + len(self._props_ids)
+            + len(self._digest_ids)
+            + len(self._deps._values)
+        )
+
+    # -- invalidation ----------------------------------------------------------
+    def sync(self) -> Optional[FrozenSet[str]]:
+        """Bring the cache up to date with the catalog.
+
+        Returns the set of relations whose statistics changed since the last
+        sync (empty when nothing changed), or ``None`` when a schema change
+        forced a full wipe.  Unlike the epoch fast path this replaced, the
+        comparison is against per-relation statistics *content digests* on
+        every call — so a table swapped into the catalog behind its back (no
+        epoch bump) is treated exactly like a declared update.  The digests
+        are memoized per table object, so an unchanged catalog costs one
+        string comparison per relation.  Builds must be preceded by a sync;
+        :meth:`~repro.dag.builder.DagBuilder.build` calls it itself, so
+        direct builder users get it for free and :class:`OptimizerSession`
+        merely calls it earlier to also refresh its plan cache.
+        """
+        catalog = self.catalog
+        max_interned = self.limits.max_interned
+        if max_interned is not None and self.interned_count() > max_interned:
+            self.reset()
+        if catalog.schema_epoch != self._synced_schema_epoch:
+            self.clear()
+            self.stats.schema_invalidations += 1
+            changed: Optional[FrozenSet[str]] = None
+            digests = catalog.stats_digests()
+        else:
+            digests = catalog.stats_digests()
+            synced = self._synced_digests
+            if digests == synced:
+                return frozenset()
+            names = set(digests)
+            names.update(synced)
+            changed = frozenset(
+                name for name in names if digests.get(name) != synced.get(name)
+            )
+            self._evict(changed)
+            self.stats.stats_invalidations += 1
+        self._synced_schema_epoch = catalog.schema_epoch
+        self._synced_digests = digests
+        return changed
+
+    def clear(self) -> None:
+        """Drop every catalog-dependent entry (schema-change semantics)."""
+        self.generation += 1
+        for cache in self._catalog_dependent_caches():
+            self.stats.evicted_entries += len(cache)
+            cache.clear()
+
+    def reset(self) -> None:
+        """Start cold: drop the entry caches *and* the id interners.
+
+        The interners grow monotonically (every distinct canonical key,
+        properties content, and digest ever seen), so a bounded session needs
+        a pressure valve: :meth:`sync` calls this when
+        :attr:`SessionCacheLimits.max_interned` is exceeded.  Interned ids
+        are embedded in cache keys and values, so everything keyed on them —
+        the catalog-dependent families and ``block_keys`` — is dropped too;
+        the purely predicate-keyed caches (``block_shapes``, ``weak_joins``,
+        ``implications``) survive.
+        """
+        self.generation += 1
+        self.stats.interner_resets += 1
+        for cache in self._catalog_dependent_caches():
+            self.stats.evicted_entries += len(cache)
+            cache.clear()
+        self.stats.evicted_entries += len(self.block_keys)
+        self.block_keys.clear()
+        self._key_ids.clear()
+        self._props_ids.clear()
+        self._digest_ids.clear()
+        self._deps = _DepsInterner()
+        self.empty_deps_id = self._deps.intern(frozenset())
+
+    def invalidate(self, table: Optional[str] = None) -> None:
+        """Manually evict entries depending on *table* (or everything)."""
+        if table is None:
+            self.clear()
+        else:
+            self._evict(frozenset((table.lower(),)))
+
+    def _catalog_dependent_caches(self) -> Tuple[Dict[Any, Any], ...]:
+        return (
+            self.base_props,
+            self.scans,
+            self.derived,
+            self.join_props,
+            self.join_ops,
+            self.join_recipes,
+        )
+
+    def _evict(self, changed: FrozenSet[str]) -> None:
+        if not changed:
+            return
+        self.generation += 1
+        deps_value = self._deps.value
+        for cache in self._catalog_dependent_caches():
+            stale = [
+                key for key, entry in cache.items() if deps_value(entry[-1]) & changed
+            ]
+            self.stats.evicted_entries += len(stale)
+            for key in stale:
+                del cache[key]
+
+    # -- introspection ---------------------------------------------------------
+    def entry_count(self) -> int:
+        return sum(len(cache) for cache in self._catalog_dependent_caches()) + len(
+            self.weak_joins
+        ) + len(self.implications)
+
+    def family_sizes(self) -> Dict[str, int]:
+        """Current entry count per cache family (bounded families stay
+        under their configured ``maxsize`` by construction)."""
+        return {name: len(cache) for name, cache in self._families().items()}
+
+    def lru_evictions(self) -> int:
+        """Total capacity evictions across every bounded family."""
+        return sum(cache.evictions for cache in self._families().values())
+
+    def _families(self) -> Dict[str, BoundedCache]:
+        return {
+            "base_props": self.base_props,
+            "scans": self.scans,
+            "derived": self.derived,
+            "join_props": self.join_props,
+            "join_ops": self.join_ops,
+            "join_recipes": self.join_recipes,
+            "block_shapes": self.block_shapes,
+            "block_keys": self.block_keys,
+            "weak_joins": self.weak_joins,
+            "implications": self.implications,
+        }
+
+    def snapshot(self) -> SessionCacheStats:
+        """A copy of the counters with derived fields filled in."""
+        stats = SessionCacheStats(**vars(self.stats))
+        stats.entries = self.entry_count()
+        stats.lru_evictions = self.lru_evictions()
+        return stats
 
 
 class _DepsInterner:
@@ -116,198 +538,11 @@ class _DepsInterner:
             self._unions[key] = cached
         return cached
 
+    def __getstate__(self) -> Tuple[Any, ...]:
+        return (self._ids, self._values, self._unions)
 
-@dataclass
-class SessionCacheStats:
-    """Hit/miss/eviction counters of one :class:`SessionCache`."""
-
-    hits: int = 0
-    misses: int = 0
-    entries: int = 0
-    builds: int = 0
-    stats_invalidations: int = 0
-    schema_invalidations: int = 0
-    evicted_entries: int = 0
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-
-class SessionCache:
-    """Catalog-lifetime fragment cache shared by successive DAG builds.
-
-    The cache is bound to one catalog and one cost model;
-    :class:`~repro.dag.builder.DagBuilder` refuses a session built against
-    different ones, because every cached value bakes their state in.  See the
-    module docstring for the entry taxonomy and the invalidation contract.
-    """
-
-    def __init__(self, catalog: Catalog, cost_model: CostModel = DEFAULT_COST_MODEL) -> None:
-        self.catalog = catalog
-        self.cost_model = cost_model
-        # Canonical equivalence keys -> dense ids (hashed once per node per
-        # build; the fragment caches below are keyed on the ids).
-        self._key_ids: Dict[Hashable, int] = {}  # repro-lint: ok(M001) catalog-independent: interns canonical keys by value
-        # LogicalProperties -> dense ids, by object identity (see module
-        # docstring: identity-keying is the byte-identity mechanism).  The
-        # list keeps the objects alive so ids can never be recycled.
-        self._props_ids: Dict[int, int] = {}  # repro-lint: ok(M001) identity interner; _props_refs pins the objects, ids never recycle
-        self._props_refs: List[LogicalProperties] = []
-        self._deps = _DepsInterner()
-        self.empty_deps_id = self._deps.intern(frozenset())
-        # -- fragment caches (values end with the interned deps id) ----------
-        #: (table, alias) -> (props, deps)
-        self.base_props: Dict[Tuple[str, str], Tuple[LogicalProperties, int]] = {}
-        #: (scan key id, predicate order, prune tag) ->
-        #: (props, label, ScanOp, cost, deps)
-        self.scans: Dict[Tuple[Any, ...], Tuple[LogicalProperties, str, ScanOp, float, int]] = {}
-        #: ("select", child props id, predicate order) /
-        #: ("project", child props id, columns) /
-        #: ("agg", child props id, agg key id) -> (props, cost, deps)
-        self.derived: Dict[Tuple[Any, ...], Tuple[LogicalProperties, float, int]] = {}
-        #: (join key id, ordered member props ids) -> (props, deps)
-        self.join_props: Dict[Tuple[Any, ...], Tuple[LogicalProperties, int]] = {}
-        #: (result kid, left kid, right kid, result/left/right props ids) ->
-        #: (JoinOp, cost, deps)
-        self.join_ops: Dict[Tuple[Any, ...], Tuple[JoinOp, float, int]] = {}
-        #: (join key id, result props id) -> (entries, deps); one entry is
-        #: (left kid, left props id, right kid, right props id, JoinOp,
-        #: cost), in enumeration order.
-        self.join_recipes: Dict[Tuple[int, int], Tuple[Tuple[RecipeEntry, ...], int]] = {}
-        # -- catalog-independent caches (never evicted) ----------------------
-        #: (n, adjacency bitmasks, predicate bitmasks) -> _BlockShape: the
-        #: connected-subset list, applicability, canonicality, and partition
-        #: enumeration of a join block — pure combinatorics shared across
-        #: blocks and builds (see :class:`repro.dag.builder._BlockShape`).
-        self.block_shapes: Dict[Tuple[Any, ...], object] = {}  # repro-lint: ok(M001) pure combinatorics of the shape key; catalog-independent
-        #: (shape key, ordered leaf key ids, block predicates) ->
-        #: {mask: (join equivalence key, applicable predicates, key id)} —
-        #: the canonical identity of every connected sub-set of a block, a
-        #: pure function of the leaf keys and predicates (filled lazily).
-        self.block_keys: Dict[Tuple[Any, ...], Dict[int, Tuple[Hashable, FrozenSet[Predicate], int]]] = {}  # repro-lint: ok(M001) pure function of leaf keys + predicates; catalog-independent
-        #: weak-join memo key -> ordered build plan (sorted weak scans plus
-        #: ordered join predicates); pure predicate structure, see
-        #: :func:`repro.dag.subsumption._weak_join_node`.
-        self.weak_joins: Dict[Hashable, Tuple[Any, ...]] = {}  # repro-lint: ok(M001) pure predicate structure; catalog-independent
-        #: (stronger predicate set, weaker predicate set) -> bool
-        self.implications: Dict[Tuple[FrozenSet[Predicate], FrozenSet[Predicate]], bool] = {}  # repro-lint: ok(M001) pure predicate logic; never invalidated
-        # -- invalidation state ----------------------------------------------
-        self._synced_statistics_epoch = catalog.statistics_epoch
-        self._synced_schema_epoch = catalog.schema_epoch
-        self._synced_versions = catalog.stats_versions()
-        #: Bumped by every eviction (sync-driven or manual) so that holders
-        #: of derived state — the :class:`OptimizerSession` plan cache — can
-        #: notice invalidations performed directly on this object.
-        self.generation = 0
-        self.stats = SessionCacheStats()
-
-    # -- interning (used by the builder) --------------------------------------
-    def key_id(self, key: Hashable) -> int:
-        ids = self._key_ids
-        ident = ids.get(key)
-        if ident is None:
-            ident = len(ids)
-            ids[key] = ident
-        return ident
-
-    def props_id(self, props: LogicalProperties) -> int:
-        ident = self._props_ids.get(id(props))
-        if ident is None:
-            ident = len(self._props_refs)
-            self._props_ids[id(props)] = ident
-            self._props_refs.append(props)
-        return ident
-
-    def deps_id(self, deps: FrozenSet[str]) -> int:
-        return self._deps.intern(deps)
-
-    def union_deps(self, a: int, b: int) -> int:
-        return self._deps.union(a, b)
-
-    def deps_of(self, deps_id: int) -> FrozenSet[str]:
-        return self._deps.value(deps_id)
-
-    # -- invalidation ----------------------------------------------------------
-    def sync(self) -> Optional[FrozenSet[str]]:
-        """Bring the cache up to date with the catalog.
-
-        Returns the set of relations whose statistics changed since the last
-        sync (empty when nothing changed), or ``None`` when a schema change
-        forced a full wipe.  Builds must be preceded by a sync;
-        :meth:`~repro.dag.builder.DagBuilder.build` calls it itself, so
-        direct builder users get it for free and :class:`OptimizerSession`
-        merely calls it earlier to also refresh its plan cache.
-        """
-        catalog = self.catalog
-        if catalog.statistics_epoch == self._synced_statistics_epoch:
-            return frozenset()
-        if catalog.schema_epoch != self._synced_schema_epoch:
-            self.clear()
-            self.stats.schema_invalidations += 1
-            changed: Optional[FrozenSet[str]] = None
-        else:
-            versions = catalog.stats_versions()
-            synced = self._synced_versions
-            changed = frozenset(
-                name for name, version in versions.items() if synced.get(name) != version
-            )
-            self._evict(changed)
-            self.stats.stats_invalidations += 1
-        self._synced_statistics_epoch = catalog.statistics_epoch
-        self._synced_schema_epoch = catalog.schema_epoch
-        self._synced_versions = catalog.stats_versions()
-        return changed
-
-    def clear(self) -> None:
-        """Drop every catalog-dependent entry (schema-change semantics)."""
-        self.generation += 1
-        for cache in self._catalog_dependent_caches():
-            self.stats.evicted_entries += len(cache)
-            cache.clear()
-
-    def invalidate(self, table: Optional[str] = None) -> None:
-        """Manually evict entries depending on *table* (or everything)."""
-        if table is None:
-            self.clear()
-        else:
-            self._evict(frozenset((table.lower(),)))
-
-    def _catalog_dependent_caches(self) -> Tuple[Dict[Any, Any], ...]:
-        return (
-            self.base_props,
-            self.scans,
-            self.derived,
-            self.join_props,
-            self.join_ops,
-            self.join_recipes,
-        )
-
-    def _evict(self, changed: FrozenSet[str]) -> None:
-        if not changed:
-            return
-        self.generation += 1
-        deps_value = self._deps.value
-        for cache in self._catalog_dependent_caches():
-            stale = [
-                key for key, entry in cache.items() if deps_value(entry[-1]) & changed
-            ]
-            self.stats.evicted_entries += len(stale)
-            for key in stale:
-                del cache[key]
-
-    # -- introspection ---------------------------------------------------------
-    def entry_count(self) -> int:
-        return sum(len(cache) for cache in self._catalog_dependent_caches()) + len(
-            self.weak_joins
-        ) + len(self.implications)
-
-    def snapshot(self) -> SessionCacheStats:
-        """A copy of the counters with ``entries`` filled in."""
-        stats = SessionCacheStats(**vars(self.stats))
-        stats.entries = self.entry_count()
-        return stats
+    def __setstate__(self, state: Tuple[Any, ...]) -> None:
+        self._ids, self._values, self._unions = state
 
 
 @dataclass
@@ -330,17 +565,23 @@ class OptimizerSession:
     keeps two cache layers alive between calls:
 
     * a **plan cache**: an exact batch seen before (same query names and
-      expressions, same catalog epochs) returns its previously built DAG —
-      and previously computed optimization results — outright;
+      expressions, same catalog statistics) returns its previously built DAG
+      — and previously computed optimization results — outright; bounded by
+      ``max_plans`` (LRU) when given;
     * the :class:`SessionCache` **fragment cache**, which makes rebuilding a
       *different but overlapping* batch cheap by reusing scan choices, join
       costs, derived properties, and whole partition-enumeration recipes.
 
-    Both layers follow the catalog's epochs: statistics changes evict only
-    the affected relations' fragments (and the plans touching them), schema
-    changes start the session cold.  See the module docstring for the
-    invalidation contract and ``benchmarks/harness.py --warm`` for measured
-    warm-rebuild speedups.
+    Both layers follow the catalog's statistics digests: statistics changes
+    evict only the affected relations' fragments (and the plans touching
+    them), schema changes start the session cold.  See the module docstring
+    for the invalidation contract and ``benchmarks/harness.py --warm`` for
+    measured warm-rebuild speedups.
+
+    Calls are serialized by an internal re-entrant lock, so a background
+    :class:`CacheWarmer` can share the session with a foreground caller.
+    For process-level parallelism, see :meth:`snapshot_state` /
+    :meth:`from_snapshot` and ``benchmarks/harness.py --service``.
 
     Usage::
 
@@ -358,6 +599,8 @@ class OptimizerSession:
         enable_subsumption: bool = True,
         enable_mqo: bool = True,
         cache_plans: bool = True,
+        limits: Optional[SessionCacheLimits] = None,
+        max_plans: Optional[int] = None,
     ) -> None:
         self.catalog = catalog
         self.cost_model = cost_model
@@ -367,17 +610,55 @@ class OptimizerSession:
         #: rebuilds the DAG (warm), which is what the byte-identity tests and
         #: the fragment-level warm-rebuild benchmarks exercise.
         self.cache_plans = cache_plans
-        self.cache = SessionCache(catalog, cost_model)
+        self.max_plans = max_plans
+        self.cache = SessionCache(catalog, cost_model, limits=limits)
         self._optimizer = MQOptimizer(
             catalog,
             cost_model=cost_model,
             enable_subsumption=enable_subsumption,
             enable_mqo=enable_mqo,
         )
-        self._plans: Dict[BatchKey, _PlanEntry] = {}
+        self._plans: BoundedCache = BoundedCache(max_plans)
         self._cache_generation = self.cache.generation
+        self._lock = threading.RLock()
         self.plan_hits = 0
         self.plan_misses = 0
+
+    # -- multi-worker state sharing -------------------------------------------
+    def snapshot_state(self) -> bytes:
+        """Serialize the fragment cache (catalog included) for other workers.
+
+        Content-addressed keys are what make the snapshot meaningful
+        elsewhere: interned ids are dense ints whose meaning is pinned by the
+        content values stored next to them, not by any ``id()`` of this
+        process.  The plan cache is deliberately *not* included — it holds
+        whole DAG object graphs; workers rebuild plans cheaply through the
+        warm fragments instead.  Restore with :meth:`from_snapshot`.
+        """
+        with self._lock:
+            return pickle.dumps(self.cache, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_snapshot(cls, data: bytes, **options: Any) -> "OptimizerSession":
+        """A new session primed with a pickled fragment cache.
+
+        The snapshot carries its own catalog and cost model (and cache
+        limits), so the restored session is self-contained; *options* are
+        forwarded to the constructor (``cache_plans``, ``max_plans``,
+        ``enable_subsumption``, ``enable_mqo``).  A snapshot transports
+        *content*, not accounting: hit/miss/eviction counters restart at
+        zero so every worker reports its own traffic, not its donor's.
+        """
+        cache = pickle.loads(data)
+        if not isinstance(cache, SessionCache):
+            raise TypeError(f"snapshot does not contain a SessionCache: {type(cache)!r}")
+        cache.stats = SessionCacheStats()
+        for family in cache._families().values():
+            family.evictions = 0
+        session = cls(cache.catalog, cost_model=cache.cost_model, **options)
+        session.cache = cache
+        session._cache_generation = cache.generation
+        return session
 
     # -- plan cache ------------------------------------------------------------
     @staticmethod
@@ -428,7 +709,8 @@ class OptimizerSession:
         :attr:`cache_plans` enabled an exact repeat returns the previously
         built :class:`~repro.dag.nodes.Dag` object itself.
         """
-        return self._dag_entry(queries).dag
+        with self._lock:
+            return self._dag_entry(queries).dag
 
     def optimize(
         self,
@@ -438,20 +720,21 @@ class OptimizerSession:
     ) -> OptimizationResult:
         """Optimize a batch, reusing cached DAGs and results where possible."""
         algorithm = Algorithm.parse(algorithm)
-        entry = self._dag_entry(queries)
-        result_key = (algorithm, greedy_options)
-        if self.cache_plans:
-            cached = entry.results.get(result_key)
-            if cached is not None:
-                self.plan_hits += 1
-                return cached
-            self.plan_misses += 1
-        result = self._optimizer.optimize(
-            queries, algorithm, dag=entry.dag, greedy_options=greedy_options
-        )
-        if self.cache_plans:
-            entry.results[result_key] = result
-        return result
+        with self._lock:
+            entry = self._dag_entry(queries)
+            result_key = (algorithm, greedy_options)
+            if self.cache_plans:
+                cached = entry.results.get(result_key)
+                if cached is not None:
+                    self.plan_hits += 1
+                    return cached
+                self.plan_misses += 1
+            result = self._optimizer.optimize(
+                queries, algorithm, dag=entry.dag, greedy_options=greedy_options
+            )
+            if self.cache_plans:
+                entry.results[result_key] = result
+            return result
 
     def optimize_all(
         self,
@@ -469,20 +752,82 @@ class OptimizerSession:
     # -- maintenance -----------------------------------------------------------
     def invalidate(self, table: Optional[str] = None) -> None:
         """Manually drop cached state for *table* (or the whole session)."""
-        if table is None:
-            self.cache.clear()
-            self._plans.clear()
-        else:
-            name = table.lower()
-            self.cache.invalidate(name)
-            stale = [key for key, entry in self._plans.items() if name in entry.deps]
-            for key in stale:
-                del self._plans[key]
-        # The plan cache was evicted in step with the fragment cache here, so
-        # the next _sync must not treat the generation bump as an external
-        # invalidation and wipe the surviving plans.
-        self._cache_generation = self.cache.generation
+        with self._lock:
+            if table is None:
+                self.cache.clear()
+                self._plans.clear()
+            else:
+                name = table.lower()
+                self.cache.invalidate(name)
+                stale = [key for key, entry in self._plans.items() if name in entry.deps]
+                for key in stale:
+                    del self._plans[key]
+            # The plan cache was evicted in step with the fragment cache here,
+            # so the next _sync must not treat the generation bump as an
+            # external invalidation and wipe the surviving plans.
+            self._cache_generation = self.cache.generation
 
     def cache_stats(self) -> SessionCacheStats:
         """Fragment-cache counters (plan-cache hits are separate fields)."""
         return self.cache.snapshot()
+
+
+class CacheWarmer:
+    """Background cache-population worker (the pcache-observer pattern).
+
+    A request-log observer, a scheduler, or any component that can
+    *anticipate* batches enqueues them here; a daemon thread drains the queue
+    through :meth:`OptimizerSession.build_dag`, so the session's fragment
+    (and plan) caches are warm before a client submits the real request.
+    The session's internal lock serializes the warmer against foreground
+    calls, and correctness is unaffected either way: warming only populates
+    caches whose reuse is byte-identical by construction.
+
+    Usage::
+
+        warmer = CacheWarmer(session)
+        warmer.enqueue(anticipated_batch)
+        ...
+        warmer.close()   # drain outstanding batches, stop the thread
+    """
+
+    def __init__(self, session: OptimizerSession) -> None:
+        self.session = session
+        self.warmed = 0
+        self.errors = 0
+        self._queue: "queue.Queue[Optional[List[Query]]]" = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._drain, name="repro-cache-warmer", daemon=True
+        )
+        self._thread.start()
+
+    def enqueue(self, queries: Sequence[Query]) -> None:
+        """Schedule *queries* to be built in the background."""
+        self._queue.put(list(queries))
+
+    def pending(self) -> int:
+        """Batches enqueued but not yet warmed (approximate, by nature)."""
+        return self._queue.qsize()
+
+    def _drain(self) -> None:
+        while True:
+            batch = self._queue.get()
+            try:
+                if batch is None:
+                    return
+                try:
+                    self.session.build_dag(batch)
+                    self.warmed += 1
+                except Exception:
+                    self.errors += 1
+            finally:
+                self._queue.task_done()
+
+    def flush(self) -> None:
+        """Block until every batch enqueued so far has been processed."""
+        self._queue.join()
+
+    def close(self) -> None:
+        """Drain outstanding batches, then stop the worker thread."""
+        self._queue.put(None)
+        self._thread.join()

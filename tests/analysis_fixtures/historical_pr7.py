@@ -1,0 +1,26 @@
+"""Verbatim reduction of the PR 7 identity-keying bug (session caches).
+
+``SessionCache.props_id`` interned ``LogicalProperties`` objects by
+``id(props)``.  The shipped variant kept a companion list pinning every
+object (which silences C001's direct target, id recycling after GC), yet the
+deeper aliasing class remained: a fragment keyed through the identity of a
+*pre-mutation* properties object kept hitting after the statistics it
+captured were swapped behind the catalog's back, and the ids were
+meaningless in any other process, so a populated cache could never be
+pickled and shared.  PR 7 replaced identity keys with content-addressed ones
+(``LogicalProperties.content_key`` + per-relation statistics digests).  The
+reduction below drops the pinning list so the lint rule fires on the raw
+pattern itself.
+"""
+
+
+class SessionCache:
+    def __init__(self):
+        self._props_ids = {}
+
+    def props_id(self, props):
+        ident = self._props_ids.get(id(props))
+        if ident is None:
+            ident = len(self._props_ids)
+            self._props_ids[id(props)] = ident
+        return ident

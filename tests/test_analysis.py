@@ -83,6 +83,18 @@ class TestFixtureCorpus:
         findings = lint_fixture("historical_pr4.py")
         assert rule_lines(findings) == {("D001", 13)}
 
+    def test_pr7_identity_keyed_cache_is_caught(self):
+        """The PR 7 aliasing bug (id()-keyed session fragments) is C001.
+
+        The reduction drops the pinning list the shipped code had, so both
+        ``id(props)`` key sites fire; the class also trips M001 because a
+        class named ``SessionCache`` is a registered cache owner and the
+        reduction has no invalidation registry — historically accurate, as
+        the identity interner's invalidation story is what was broken.
+        """
+        findings = lint_fixture("historical_pr7.py")
+        assert rule_lines(findings) == {("C001", 22), ("C001", 25), ("M001", 17)}
+
     def test_suppression_meta_rules(self):
         findings = rule_lines(lint_fixture("suppressions_bad.py"))
         # Bare and unknown-rule suppressions do not silence their D001...

@@ -11,7 +11,9 @@ are locked down here:
 * **``PYTHONHASHSEED`` independence**: separate interpreter processes with
   different hash seeds produce identical canonical fingerprints, for the
   memoized builder, the reference builder, session-backed (cold and warm)
-  builds, and the execution layer — per-query rows in exact row and column
+  builds, a restored pickled session snapshot (the PR 7 content-addressed
+  cache, including its interned-key count and per-relation statistics
+  digests), and the execution layer — per-query rows in exact row and column
   order plus work accounting, for a Volcano and a greedy plan.  (PR 2 fixed
   the selectivity-product hash-order leak in ``_join_properties``; PR 4
   fixed the residual-conjunct order of subsumption selections, which this
@@ -79,6 +81,18 @@ for algorithm in (Algorithm.VOLCANO, Algorithm.GREEDY):
         result.stats.rows_scanned, result.stats.rows_materialized,
         result.stats.reuses, round(result.simulated_seconds, 9),
     )
+# Content-addressed session snapshots (PR 7) must be process-portable: a
+# pickled warm fragment cache restored in this interpreter rebuilds the same
+# bytes, interns the same number of content keys, and the per-relation
+# statistics digests it syncs against are themselves hash-seed independent.
+donor = OptimizerSession(optimizer.catalog, cache_plans=False)
+donor.build_dag(scaleup_queries(2))
+restored = OptimizerSession.from_snapshot(donor.snapshot_state(), cache_plans=False)
+fingerprint = dag_fingerprint(restored.build_dag(scaleup_queries(2)))
+print("snapshot", hashlib.sha256(fingerprint.encode()).hexdigest(),
+      restored.cache.interned_count(), restored.cache_stats().hits > 0)
+for name, digest in sorted(optimizer.catalog.stats_digests().items()):
+    print("digest", name, digest)
 """
 
 

@@ -5,7 +5,9 @@ is executed in its own namespace (asserts included), so the documented API —
 the quick-start, the ``OptimizerSession`` warm-rebuild example, the linter
 example — can never drift from the code.  The blocks are intentionally small
 and statistics-only (no data generation), keeping this suite a few hundred
-milliseconds.
+milliseconds.  The multi-worker service example (snapshot fan-out, bounded
+caches, background warming — the deployment story of PR 7) runs as a real
+subprocess, self-checking included.
 
 Runs in every CI leg, including the no-NumPy one: the examples must not
 depend on optional accelerators.
@@ -13,6 +15,8 @@ depend on optional accelerators.
 
 import os
 import re
+import subprocess
+import sys
 
 import pytest
 
@@ -47,3 +51,20 @@ def test_determinism_doc_has_python_example():
 def test_doc_python_block_runs(doc, index, block, capsys):
     namespace = {"__name__": f"{doc}_block_{index}"}
     exec(compile(block, f"{doc}[block {index}]", "exec"), namespace)
+
+
+def test_multi_worker_service_example_runs():
+    """The deployment example really forks workers off a pickled snapshot;
+    its own asserts check byte-identity of every worker's warm answers."""
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    result = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "examples", "multi_worker_service.py")],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "worker 0" in result.stdout and "worker 1" in result.stdout
+    assert "byte-identical" in result.stdout

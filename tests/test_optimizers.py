@@ -17,7 +17,8 @@ from repro.optimizer import (
 from repro.optimizer.costing import best_operations, compute_node_costs, total_cost
 from repro.optimizer.exhaustive import ExhaustiveSearchError
 from repro.optimizer.greedy import IncrementalCostState
-from repro.optimizer.plans import extract_plan
+from repro.optimizer.plans import ConsolidatedPlan, PlanError, extract_plan
+from repro.optimizer.volcano import consolidated_best_plan
 from repro.workloads import tpcd_queries as tq
 from tests.test_dag import join_rs, join_rst
 
@@ -177,6 +178,25 @@ class TestAlgorithms:
         for queries in (tq.q2_decorrelated(), [tq.q11()], [tq.q15()]):
             dag = tpcd_optimizer.build_dag(queries)
             assert optimize_volcano_sh(dag).cost <= optimize_volcano(dag).cost * 1.0001
+
+    def test_volcano_sh_rejects_plan_missing_a_reachable_choice(self, shared_dag):
+        """A malformed consolidated plan raises instead of being silently priced.
+
+        Volcano-SH used to fall back to an argmin over all alternatives for a
+        reachable non-base node without a chosen operation, pricing the node
+        differently from the plan that claimed to contain it.  That branch is
+        now a checked invariant (``PlanError``), so hand-edited or truncated
+        plans fail loudly."""
+        plan = consolidated_best_plan(shared_dag)
+        victim = next(
+            node.id
+            for node in plan.reachable()
+            if not node.is_base and node.id != shared_dag.root.id
+        )
+        broken = ConsolidatedPlan(shared_dag, dict(plan.choices), set(plan.materialized))
+        del broken.choices[victim]
+        with pytest.raises(PlanError, match="reachable non-base node"):
+            optimize_volcano_sh(shared_dag, broken)
 
 
 class TestPlans:

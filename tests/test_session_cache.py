@@ -20,16 +20,28 @@ statistics mutations evict only entries depending on the mutated relation,
 schema changes clear everything.
 """
 
+import hashlib
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
 import pytest
 
 from repro import Algorithm, MQOptimizer, OptimizerSession, Query, SessionCache
+from repro.algebra import Relation, col
 from repro.catalog import psp_catalog, tpcd_catalog
 from repro.catalog.catalog import CatalogError
 from repro.catalog.schema import make_table
+from repro.cost.estimation import ColumnStats, LogicalProperties
 from repro.dag.builder import DagBuilder
+from repro.service import BoundedCache, CacheWarmer, SessionCacheLimits
 from repro.workloads.batch import batched_queries
 from repro.workloads.scaleup import component_query, scaleup_queries
 from tests.generators import dag_fingerprint, random_query_workload
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 # ---------------------------------------------------------------------------
@@ -197,10 +209,15 @@ class TestInvalidation:
         assert post != pre
 
     def test_stale_cache_bug_would_be_caught(self):
-        """Demonstrate the regression the differential check guards against:
-        mutate statistics *behind the catalog's back* (no version bump) and
-        the warm rebuild serves stale pre-mutation properties, which the
-        fingerprint comparison against the reference builder detects."""
+        """Regression test for the PR 7 identity-keying bug class: mutate
+        statistics *behind the catalog's back* (no epoch or version bump) and
+        the warm rebuild must still match the post-mutation reference.  Sync
+        compares per-relation statistics *content digests* every build, and
+        leaf cache keys embed the digest, so the swapped table is treated
+        exactly like a declared update.  (Until PR 7 this test demonstrated
+        the bug — the identity-keyed session served stale pre-mutation
+        properties; a pinned reduction of that failure lives on as
+        ``tests/analysis_fixtures/historical_pr7.py``.)"""
         catalog = psp_catalog()
         optimizer = MQOptimizer(catalog)
         session = OptimizerSession(catalog, cache_plans=False)
@@ -213,10 +230,13 @@ class TestInvalidation:
             55_555,
             [(c.name, c.width, c.distinct) for c in table.columns],
         )
-        stale = dag_fingerprint(session.build_dag(queries))
+        rebuilt = dag_fingerprint(session.build_dag(queries))
         reference = dag_fingerprint(optimizer._build_reference(queries))
-        assert stale == pre          # the session served stale entries...
-        assert stale != reference    # ...and the differential oracle trips.
+        assert rebuilt == reference  # the mutation was picked up...
+        assert rebuilt != pre        # ...and it is visible in the result.
+        # The digest comparison accounted it as a statistics invalidation
+        # even though no epoch moved.
+        assert session.cache.stats.stats_invalidations >= 1
 
     def test_schema_change_clears_everything(self):
         catalog = psp_catalog()
@@ -364,3 +384,217 @@ class TestBuilderSessionGuards:
         assert builder.session_deps() == frozenset(
             f"psp{i}" for i in range(3, 8)
         )
+
+
+# ---------------------------------------------------------------------------
+# Content addressing (PR 7)
+# ---------------------------------------------------------------------------
+
+class TestContentAddressing:
+    def test_equal_content_properties_share_one_interned_id(self):
+        """Distinct objects with equal content intern to the same id — the
+        property that makes cache keys survive pickling, LRU eviction, and
+        recomputation in other processes."""
+        cache = SessionCache(psp_catalog())
+        stats = {col("t", "x"): ColumnStats(5.0, 8, 1.0, 9.0)}
+        a = LogicalProperties(10.0, dict(stats))
+        b = LogicalProperties(10.0, dict(stats))
+        assert a is not b
+        assert cache.props_id(a) == cache.props_id(b)
+        changed = LogicalProperties(10.0, {col("t", "x"): ColumnStats(5.0, 8, 1.0, 9.5)})
+        assert cache.props_id(changed) != cache.props_id(a)
+
+    def test_content_key_is_bit_and_order_strict(self):
+        """The key must be exactly as strict as the byte-identity oracle:
+        ``-0.0`` vs ``0.0`` and column insertion order both change the bytes
+        a DAG serializes to, so they must change the key."""
+        assert LogicalProperties(0.0).content_key() != LogicalProperties(-0.0).content_key()
+        x, y = col("t", "x"), col("t", "y")
+        sx, sy = ColumnStats(2.0), ColumnStats(3.0)
+        xy = LogicalProperties(1.0, {x: sx, y: sy})
+        yx = LogicalProperties(1.0, {y: sy, x: sx})
+        assert xy.content_key() != yx.content_key()
+
+    def test_stats_digests_track_content_not_identity(self):
+        """Independently constructed equal catalogs share digests; a
+        statistics update moves exactly the updated relation's digest."""
+        a, b = psp_catalog(), psp_catalog()
+        assert a.stats_digests() == b.stats_digests()
+        before = a.stats_digests()
+        a.update_statistics("psp2", row_count=999)
+        after = a.stats_digests()
+        assert after["psp2"] != before["psp2"]
+        del before["psp2"], after["psp2"]
+        assert after == before
+
+
+# ---------------------------------------------------------------------------
+# Bounded caches (PR 7)
+# ---------------------------------------------------------------------------
+
+class TestBoundedCaches:
+    def test_lru_semantics_and_eviction_counter(self):
+        cache = BoundedCache(3)
+        for key in "abc":
+            cache[key] = key.upper()
+        assert cache.get("a") == "A"      # refreshes recency of 'a'
+        cache["d"] = "D"                  # evicts 'b', the oldest
+        assert "b" not in cache and "a" in cache
+        assert cache.evictions == 1
+        assert cache.setdefault("e", "E") == "E"   # evicts 'c'
+        assert "c" not in cache
+        assert cache.evictions == 2
+        assert list(cache) == ["a", "d", "e"]
+
+    def test_unbounded_by_default(self):
+        cache = BoundedCache(None)
+        for index in range(10_000):
+            cache[index] = index
+        assert len(cache) == 10_000 and cache.evictions == 0
+
+    def test_pickle_preserves_bound_order_and_counter(self):
+        cache = BoundedCache(2)
+        cache["a"], cache["b"], cache["c"] = 1, 2, 3   # 'a' evicted
+        clone = pickle.loads(pickle.dumps(cache))
+        assert isinstance(clone, BoundedCache)
+        assert clone.maxsize == 2 and clone.evictions == 1
+        assert list(clone.items()) == [("b", 2), ("c", 3)]
+        clone["d"] = 4
+        assert "b" not in clone and clone.evictions == 2
+
+    def test_byte_identity_holds_under_tight_bounds(self):
+        """Correctness never depends on residency: with capacities far below
+        the working set, rebuilds still match the memo-free reference, and
+        no family ever exceeds its cap."""
+        catalog = psp_catalog()
+        optimizer = MQOptimizer(catalog)
+        limits = SessionCacheLimits(
+            base_props=8, scans=16, derived=48, join_props=48, join_ops=96,
+            join_recipes=24, block_shapes=8, block_keys=16, weak_joins=24,
+            implications=48,
+        )
+        session = OptimizerSession(catalog, cache_plans=False, limits=limits)
+        batches = [
+            scaleup_queries(2),
+            [q for c in range(3, 9) for q in component_query(c)],
+            scaleup_queries(2),
+        ]
+        for index, queries in enumerate(batches):
+            assert dag_fingerprint(session.build_dag(queries)) == dag_fingerprint(
+                optimizer._build_reference(queries)
+            ), index
+        stats = session.cache_stats()
+        assert stats.lru_evictions > 0
+        for family, size in session.cache.family_sizes().items():
+            cap = getattr(limits, family)
+            assert cap is not None and size <= cap, family
+
+    def test_interner_guard_resets_and_stays_correct(self):
+        catalog = psp_catalog()
+        optimizer = MQOptimizer(catalog)
+        limits = SessionCacheLimits(max_interned=50)
+        session = OptimizerSession(catalog, cache_plans=False, limits=limits)
+        queries = scaleup_queries(2)
+        session.build_dag(queries)
+        assert session.cache.interned_count() > 50
+        # The next sync point notices the guard, resets, and the rebuild
+        # (now cold again) still matches the reference.
+        assert dag_fingerprint(session.build_dag(queries)) == dag_fingerprint(
+            optimizer._build_reference(queries)
+        )
+        assert session.cache_stats().interner_resets >= 1
+
+
+# ---------------------------------------------------------------------------
+# Cross-process snapshots (PR 7)
+# ---------------------------------------------------------------------------
+
+class TestCrossProcessSnapshot:
+    def test_from_snapshot_round_trip_is_warm(self):
+        catalog = psp_catalog()
+        session = OptimizerSession(catalog, cache_plans=False)
+        queries = scaleup_queries(2)
+        expected = dag_fingerprint(session.build_dag(queries))
+        restored = OptimizerSession.from_snapshot(
+            session.snapshot_state(), cache_plans=False
+        )
+        assert restored.cache.entry_count() == session.cache.entry_count()
+        assert dag_fingerprint(restored.build_dag(queries)) == expected
+        stats = restored.cache_stats()
+        assert stats.hits > 0 and stats.misses == 0  # fully warm restore
+
+    def test_snapshot_restores_in_a_subprocess(self, tmp_path):
+        """The whole point of content addressing: a warm cache pickled here
+        is byte-identically warm in a *different interpreter* (different
+        object ids, different hash seed), with hit accounting to prove the
+        restored entries were actually served."""
+        catalog = psp_catalog()
+        session = OptimizerSession(catalog, cache_plans=False)
+        queries = scaleup_queries(2)
+        parent_sha = hashlib.sha256(
+            dag_fingerprint(session.build_dag(queries)).encode()
+        ).hexdigest()
+        snapshot_path = tmp_path / "session.pkl"
+        snapshot_path.write_bytes(session.snapshot_state())
+        script = textwrap.dedent(
+            f"""\
+            import hashlib, sys
+            sys.path.insert(0, "src")
+            sys.path.insert(0, ".")
+            from repro import OptimizerSession
+            from repro.workloads.scaleup import scaleup_queries
+            from tests.generators import dag_fingerprint
+
+            with open({str(snapshot_path)!r}, "rb") as handle:
+                session = OptimizerSession.from_snapshot(
+                    handle.read(), cache_plans=False
+                )
+            fingerprint = dag_fingerprint(session.build_dag(scaleup_queries(2)))
+            stats = session.cache_stats()
+            print(hashlib.sha256(fingerprint.encode()).hexdigest())
+            print(stats.hits > 0 and stats.misses == 0)
+            print(session.cache.entry_count())
+            """
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=dict(os.environ, PYTHONHASHSEED="9999"),
+            cwd=REPO_ROOT,
+            check=True,
+        )
+        child_sha, warm, entries = result.stdout.split()
+        assert child_sha == parent_sha
+        assert warm == "True"
+        assert int(entries) == session.cache.entry_count()
+
+
+# ---------------------------------------------------------------------------
+# Background cache warming (PR 7)
+# ---------------------------------------------------------------------------
+
+class TestCacheWarmer:
+    def test_warms_fragments_before_foreground_requests(self):
+        catalog = psp_catalog()
+        session = OptimizerSession(catalog, cache_plans=False)
+        warmer = CacheWarmer(session)
+        try:
+            warmer.enqueue(scaleup_queries(2))
+            warmer.flush()
+            assert warmer.warmed == 1 and warmer.errors == 0
+            misses_before = session.cache_stats().misses
+            session.build_dag(scaleup_queries(2))
+            assert session.cache_stats().misses == misses_before  # fully warm
+        finally:
+            warmer.close()
+
+    def test_close_drains_and_errors_are_counted(self):
+        session = OptimizerSession(psp_catalog(), cache_plans=False)
+        warmer = CacheWarmer(session)
+        warmer.enqueue([Query("bad", Relation("no_such_table"))])
+        warmer.enqueue(scaleup_queries(1))
+        warmer.close()
+        assert warmer.warmed == 1
+        assert warmer.errors == 1
+        assert warmer.pending() == 0
