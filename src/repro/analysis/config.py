@@ -89,6 +89,7 @@ DEFAULT_REGISTRIES: Mapping[str, str] = {
     "SessionCache": "_catalog_dependent_caches",
     "DagBuilder": "build",
     "OptimizerSession": "_sync",
+    "DagArena": "__setstate__",
 }
 
 #: Path fragments excluded from linting (fnmatch patterns over ``/``-joined

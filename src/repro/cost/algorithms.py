@@ -17,7 +17,6 @@ itself, which keeps the paper's additive cost formula
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -105,17 +104,14 @@ def block_nested_loops_join_cost(
     """
     outer_blocks = model.blocks(outer.rows, outer.tuple_width)
     inner_blocks = model.blocks(inner.rows, inner.tuple_width)
+    per_tuple = model.cpu_time_per_tuple
     compare_cpu = Cost(
         0.0,
-        outer.rows * inner.rows * model.cpu_time_per_tuple
-        + output_rows * model.cpu_time_per_tuple,
+        outer.rows * inner.rows * per_tuple + output_rows * per_tuple,
     )
     if inner_blocks <= model.memory_blocks - 2:
         return compare_cpu
-    chunks = math.ceil(outer_blocks / max(1, model.memory_blocks - 2))
-    spill = model.sequential_write(inner_blocks)
-    rescans = model.sequential_read(inner_blocks).scaled(chunks)
-    return spill + rescans + compare_cpu
+    return model.nested_loops_spill_cost(outer_blocks, inner_blocks) + compare_cpu
 
 
 def merge_join_cost(
@@ -126,13 +122,21 @@ def merge_join_cost(
     left_sorted: bool = False,
     right_sorted: bool = False,
 ) -> Cost:
-    """Sort-merge join; inputs that are not already sorted are sorted first."""
-    cost = Cost()
+    """Sort-merge join; inputs that are not already sorted are sorted first.
+
+    The sort costs are accumulated without a zero-cost seed: every component
+    of an ``external_sort`` cost is a sum/product of non-negative terms, so
+    it is ``+0.0`` or positive, and adding ``+0.0`` is bit-exact — the
+    historical ``Cost() + ...`` fold produced identical values.
+    """
+    cost: Optional[Cost] = None
     if not left_sorted:
-        cost = cost + model.external_sort(model.blocks(left.rows, left.tuple_width), left.rows)
+        cost = model.external_sort(model.blocks(left.rows, left.tuple_width), left.rows)
     if not right_sorted:
-        cost = cost + model.external_sort(model.blocks(right.rows, right.tuple_width), right.rows)
-    return cost + model.cpu(0, left.rows + right.rows + output_rows)
+        right_sort = model.external_sort(model.blocks(right.rows, right.tuple_width), right.rows)
+        cost = right_sort if cost is None else cost + right_sort
+    scan = model.cpu(0, left.rows + right.rows + output_rows)
+    return scan if cost is None else cost + scan
 
 
 def index_nested_loops_join_cost(
@@ -177,6 +181,8 @@ def sort_cost(model: CostModel, child: LogicalProperties) -> Cost:
 
 def _equi_join_columns(predicates: Sequence[Predicate]) -> Sequence[Tuple[ColumnRef, ColumnRef]]:
     """Extract ``left.col = right.col`` pairs from the join predicates."""
+    if not predicates:
+        return ()
     pairs = []
     for predicate in predicates:
         for conjunct in predicate.conjuncts():
@@ -196,13 +202,13 @@ def choose_scan(
 ) -> AlgorithmChoice:
     """Pick the cheapest access path for scanning ``table_name`` with a filter."""
     table = catalog.table(table_name)
-    choices = [
-        AlgorithmChoice(
-            "table_scan",
-            table_scan_cost(model, base.rows, base.tuple_width, output.rows),
-            _clustered_order(catalog, table_name, alias),
-        )
-    ]
+    # Scalar best-tracking with a strict ``<`` in the historical candidate
+    # order — ties resolve to the earliest candidate exactly as the previous
+    # ``min``-over-a-list did (see ``choose_join``).
+    best_cost = table_scan_cost(model, base.rows, base.tuple_width, output.rows)
+    best_name = "table_scan"
+    best_total = best_cost.io + best_cost.cpu
+    best_order = _clustered_order(catalog, table_name, alias)
     if predicate is not None:
         for conjunct in predicate.conjuncts():
             if not isinstance(conjunct, Comparison):
@@ -215,12 +221,16 @@ def choose_scan(
                 continue
             if index.clustered:
                 cost = clustered_index_scan_cost(model, base.rows, base.tuple_width, output.rows)
-                order = (ColumnRef(alias, index.column),)
+                order: Tuple[ColumnRef, ...] = (ColumnRef(alias, index.column),)
             else:
                 cost = secondary_index_scan_cost(model, base.rows, base.tuple_width, output.rows)
                 order = ()
-            choices.append(AlgorithmChoice(f"index_scan({index.column})", cost, order))
-    return min(choices, key=lambda c: c.total)
+            total = cost.io + cost.cpu
+            if total < best_total:
+                best_cost, best_total = cost, total
+                best_name = f"index_scan({index.column})"
+                best_order = order
+    return AlgorithmChoice(best_name, best_cost, best_order)
 
 
 def _clustered_order(catalog: Catalog, table_name: str, alias: str) -> Tuple[ColumnRef, ...]:
@@ -248,25 +258,25 @@ def choose_join(
     filtered) base-table scan, which enables index nested-loops joins through
     an existing index on the join column.
     """
-    choices = [
-        AlgorithmChoice(
-            "block_nested_loops_join",
-            block_nested_loops_join_cost(model, left, right, output_rows),
-        )
-    ]
+    # Tracked as scalars instead of a list fed to ``min`` — one
+    # ``AlgorithmChoice`` is built for the winner only.  Candidates are
+    # considered in the historical order with a strict ``<``, so ties keep
+    # resolving to the earliest candidate exactly as ``min`` did.
+    best_cost = block_nested_loops_join_cost(model, left, right, output_rows)
+    best_name = "block_nested_loops_join"
+    best_total = best_cost.io + best_cost.cpu
+    best_order: Tuple[ColumnRef, ...] = ()
     equi_columns = _equi_join_columns(predicates)
     if equi_columns:
         left_cols = {c for pair in equi_columns for c in pair}
         left_sorted = bool(left_order) and left_order[0] in left_cols
         right_sorted = bool(right_order) and right_order[0] in left_cols
         join_col = equi_columns[0]
-        choices.append(
-            AlgorithmChoice(
-                "merge_join",
-                merge_join_cost(model, left, right, output_rows, left_sorted, right_sorted),
-                (join_col[0],),
-            )
-        )
+        merge = merge_join_cost(model, left, right, output_rows, left_sorted, right_sorted)
+        merge_total = merge.io + merge.cpu
+        if merge_total < best_total:
+            best_cost, best_name, best_total = merge, "merge_join", merge_total
+            best_order = (join_col[0],)
         if right_base_table is not None and right_alias is not None:
             table = catalog.table(right_base_table)
             for left_col, right_col in equi_columns:
@@ -277,21 +287,21 @@ def choose_join(
                     if index is None:
                         continue
                     matches = right.rows / max(1.0, right.distinct(candidate))
-                    choices.append(
-                        AlgorithmChoice(
-                            f"index_nested_loops_join({candidate.column})",
-                            index_nested_loops_join_cost(
-                                model,
-                                left,
-                                right.rows,
-                                right.tuple_width,
-                                matches,
-                                output_rows,
-                                index.clustered,
-                            ),
-                        )
+                    inl = index_nested_loops_join_cost(
+                        model,
+                        left,
+                        right.rows,
+                        right.tuple_width,
+                        matches,
+                        output_rows,
+                        index.clustered,
                     )
-    return min(choices, key=lambda c: c.total)
+                    inl_total = inl.io + inl.cpu
+                    if inl_total < best_total:
+                        best_cost, best_total = inl, inl_total
+                        best_name = f"index_nested_loops_join({candidate.column})"
+                        best_order = ()
+    return AlgorithmChoice(best_name, best_cost, best_order)
 
 
 def choose_aggregate(

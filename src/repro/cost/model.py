@@ -76,9 +76,11 @@ class CostModel:
     index_probe_ios: int = 2
 
     if TYPE_CHECKING:
-        # Type-only declaration of the memo table installed by __post_init__;
-        # guarded so the dataclass machinery does not pick it up as a field.
+        # Type-only declaration of the memo table and cached derived value
+        # installed by __post_init__; guarded so the dataclass machinery does
+        # not pick them up as fields.
         _memo: Dict[Tuple[Any, ...], Any]
+        _memory_blocks: int
 
     def __post_init__(self) -> None:
         # Per-instance memo tables for the hottest pure primitives (``blocks``,
@@ -90,20 +92,21 @@ class CostModel:
         # and are cleared when they grow past a bound so long-running services
         # cannot leak memory through unbounded distinct estimates.
         object.__setattr__(self, "_memo", {})
+        # ``memory_blocks`` is probed several times per join costing; the
+        # instance is frozen, so the derived value is fixed at construction.
+        object.__setattr__(
+            self, "_memory_blocks", max(3, self.memory_bytes // self.block_size)
+        )
 
+    # The bound is enforced on the miss path of each memoized primitive (the
+    # hit path is a bare dict probe — these run thousands of times per build).
     _MEMO_LIMIT = 1 << 16
-
-    def _memo_get(self, key: Tuple[Any, ...]) -> Any:
-        memo = self._memo
-        if len(memo) > self._MEMO_LIMIT:
-            memo.clear()
-        return memo.get(key)
 
     # -- derived ---------------------------------------------------------------
     @property
     def memory_blocks(self) -> int:
         """Number of buffer blocks available to one operator."""
-        return max(3, self.memory_bytes // self.block_size)
+        return self._memory_blocks
 
     def with_memory(self, memory_bytes: int) -> "CostModel":
         """Return a copy of the model with a different per-operator memory."""
@@ -113,14 +116,17 @@ class CostModel:
     def blocks(self, rows: float, tuple_width: float) -> int:
         """Number of blocks occupied by *rows* tuples of *tuple_width* bytes."""
         key = ("blocks", rows, tuple_width)
-        cached = self._memo_get(key)
+        memo = self._memo
+        cached = memo.get(key)
         if cached is None:
             if rows <= 0:
                 cached = 1
             else:
                 per_block = max(1, int(self.block_size // max(1.0, tuple_width)))
                 cached = max(1, int(math.ceil(rows / per_block)))
-            self._memo[key] = cached
+            if len(memo) > self._MEMO_LIMIT:
+                memo.clear()
+            memo[key] = cached
         return cached
 
     def cpu(self, blocks: float, rows: float = 0.0) -> Cost:
@@ -148,10 +154,13 @@ class CostModel:
         the classic ``2 * blocks * passes`` I/O formula is used.
         """
         key = ("sort", blocks, rows)
-        cached = self._memo_get(key)
+        memo = self._memo
+        cached = memo.get(key)
         if cached is None:
             cached = self._external_sort(blocks, rows)
-            self._memo[key] = cached
+            if len(memo) > self._MEMO_LIMIT:
+                memo.clear()
+            memo[key] = cached
         return cached
 
     def _external_sort(self, blocks: float, rows: float) -> Cost:
@@ -165,6 +174,27 @@ class CostModel:
             (self.read_time_per_block + self.write_time_per_block) / 2.0
         )
         return Cost(io, io_blocks * self.cpu_time_per_block + rows * self.cpu_time_per_tuple)
+
+    def nested_loops_spill_cost(self, outer_blocks: int, inner_blocks: int) -> Cost:
+        """Spill + rescan I/O of a block nested-loops join with a buffered inner.
+
+        The inner is written to a temporary once and re-read for every
+        memory-full chunk of the outer.  Memoized: block counts quantize row
+        estimates, so the same ``(outer_blocks, inner_blocks)`` pairs recur
+        across the thousands of join costings of one DAG build.
+        """
+        key = ("bnl", outer_blocks, inner_blocks)
+        memo = self._memo
+        cached = memo.get(key)
+        if cached is None:
+            chunks = math.ceil(outer_blocks / max(1, self.memory_blocks - 2))
+            cached = self.sequential_write(inner_blocks) + self.sequential_read(
+                inner_blocks
+            ).scaled(chunks)
+            if len(memo) > self._MEMO_LIMIT:
+                memo.clear()
+            memo[key] = cached
+        return cached
 
     def materialization_cost(self, rows: float, tuple_width: float) -> Cost:
         """Cost of writing a result to disk for sharing (sequential write)."""
@@ -188,7 +218,8 @@ class CostModel:
     def index_probe_cost(self, matching_rows: float, tuple_width: float) -> Cost:
         """Cost of one index lookup retrieving *matching_rows* rows."""
         key = ("probe", matching_rows, tuple_width)
-        cached = self._memo_get(key)
+        memo = self._memo
+        cached = memo.get(key)
         if cached is None:
             matching_blocks = self.blocks(matching_rows, tuple_width) if matching_rows > 0 else 0
             blocks_read = self.index_probe_ios + max(0, matching_blocks - 1)
@@ -196,7 +227,9 @@ class CostModel:
                 self.seek_time + blocks_read * self.read_time_per_block,
                 blocks_read * self.cpu_time_per_block + matching_rows * self.cpu_time_per_tuple,
             )
-            self._memo[key] = cached
+            if len(memo) > self._MEMO_LIMIT:
+                memo.clear()
+            memo[key] = cached
         return cached
 
 

@@ -375,9 +375,17 @@ class DagBuilder:
         #: Ids of join equivalence nodes whose partition enumeration is a pure
         #: function of their key and has been performed once already.
         self._expanded_joins: Optional[Set[int]] = set() if memoize else None  # repro-lint: ok(M001) keyed on this dag's node ids; dies with the builder, nothing to invalidate
-        #: ``(weakened leaf selections, join predicates)`` -> weak join node,
-        #: for the subsumption pass.
-        self._weak_join_memo: Optional[Dict[Tuple[object, ...], EquivalenceNode]] = {} if memoize else None  # repro-lint: ok(M001) keyed on this dag's nodes; dies with the builder, nothing to invalidate
+        #: ``(weakened leaf selections, join predicates)`` -> weak join node
+        #: id, for the subsumption pass.
+        self._weak_join_memo: Optional[Dict[Tuple[object, ...], Optional[int]]] = {} if memoize else None  # repro-lint: ok(M001) keyed on this dag's nodes; dies with the builder, nothing to invalidate
+        #: Per-build :class:`_BlockShape` sharing for sessionless memoized
+        #: builds (the scale-up chains reuse one shape across all their
+        #: blocks); with a session the catalog-lifetime ``block_shapes``
+        #: cache takes precedence.  Shapes are pure functions of their key.
+        # repro-lint: ok(M001) pure function of the shape key; dies with the builder
+        self._shape_memo: Optional[Dict[Tuple[int, Tuple[int, ...], Tuple[int, ...]], _BlockShape]] = (
+            {} if memoize else None
+        )
         # repro-lint: ok(M001) per-node pure derivation memo; dies with the builder
         self._applicable_memo: Optional[Dict[int, FrozenSet[Predicate]]] = (
             {} if memoize else None
@@ -406,12 +414,12 @@ class DagBuilder:
         self._session = session
         # Per-build session annotations, (re)initialized in :meth:`build`:
         # equivalence-node id -> interned canonical-key id / properties id /
-        # relation-dependency id, interned-key id -> node, and the per-table
-        # prune-tag cache.  See :meth:`_register_node`.
+        # relation-dependency id, interned-key id -> node id, and the
+        # per-table prune-tag cache.  See :meth:`_register_id`.
         self._node_kid: Dict[int, int] = {}
         self._node_pid: Dict[int, int] = {}
         self._node_deps: Dict[int, int] = {}
-        self._kid_node: Dict[int, EquivalenceNode] = {}
+        self._kid_node: Dict[int, int] = {}
         self._table_tag_cache: Dict[str, Tuple[Optional[FrozenSet[str]], int, int]] = {}
         self._build_deps_id = 0 if session is None else session.empty_deps_id
 
@@ -426,26 +434,31 @@ class DagBuilder:
     # ------------------------------------------------------------------
     # Session-cache plumbing (no-ops unless a SessionCache is attached)
     # ------------------------------------------------------------------
-    def _register_node(
-        self, node: EquivalenceNode, deps_id: int, kid: Optional[int] = None
-    ) -> None:
-        """Annotate *node* with its session ids (key, properties, deps).
+    def _register_id(self, eq_id: int, deps_id: int, kid: Optional[int] = None) -> None:
+        """Annotate equivalence node *eq_id* with its session ids (key,
+        properties, deps).
 
         Every equivalence node except the pseudo-root passes through here
         exactly once, at creation; the annotations are what lets the join
         caches key on stable canonical ids instead of per-build node ids.
         """
         session = self._session
-        node_id = node.id
-        if node_id in self._node_kid:
+        if eq_id in self._node_kid:
             return
+        arena = self.dag.arena
         if kid is None:
-            kid = session.key_id(node.key)
-        self._node_kid[node_id] = kid
-        self._node_pid[node_id] = session.props_id(node.properties)
-        self._node_deps[node_id] = deps_id
-        self._kid_node.setdefault(kid, node)
+            kid = session.key_id(arena.eq_key[eq_id])
+        self._node_kid[eq_id] = kid
+        self._node_pid[eq_id] = session.props_id(arena.eq_props[eq_id])
+        self._node_deps[eq_id] = deps_id
+        self._kid_node.setdefault(kid, eq_id)
         self._build_deps_id = session.union_deps(self._build_deps_id, deps_id)
+
+    def _register_node(
+        self, node: EquivalenceNode, deps_id: int, kid: Optional[int] = None
+    ) -> None:
+        """:meth:`_register_id` for the façade-level construction paths."""
+        self._register_id(node.id, deps_id, kid)
 
     def _leaf_tag_deps(self, table: str) -> Tuple[Optional[FrozenSet[str]], int, int]:
         """Prune tag, deps id, and statistics-digest id of leaves over *table*.
@@ -927,7 +940,7 @@ class DagBuilder:
             )
 
         mapping = self._canonical_aliases(leaves)
-        leaf_nodes: Dict[str, EquivalenceNode] = {}
+        leaf_ids: Dict[str, int] = {}
         for leaf in leaves:
             canonical = mapping[leaf.alias]
             predicates = [p.rename(mapping) for p in leaf.predicates]
@@ -937,14 +950,15 @@ class DagBuilder:
                 node = self.build_expression(leaf.sub_expression)
                 if predicates:
                     node = self.select_equivalence(node, predicates)
-            leaf_nodes[canonical] = node
+            leaf_ids[canonical] = node.id
 
         renamed_joins = [p.rename(mapping) for p in join_predicates]
         aliases = [mapping[leaf.alias] for leaf in leaves]
         if len(aliases) == 1:
-            only = leaf_nodes[aliases[0]]
-            return only
-        return self._expand_join_space(aliases, leaf_nodes, renamed_joins)
+            return self.dag.arena.eq_view(leaf_ids[aliases[0]])
+        return self.dag.arena.eq_view(
+            self._expand_join_space(aliases, leaf_ids, renamed_joins)
+        )
 
     def _extract(
         self, expression: Expression, leaves: List[_Leaf], join_predicates: List[Predicate]
@@ -1008,10 +1022,15 @@ class DagBuilder:
     def _expand_join_space(
         self,
         aliases: Sequence[str],
-        leaf_nodes: Dict[str, EquivalenceNode],
+        leaf_ids: Dict[str, int],
         join_predicates: Sequence[Predicate],
-    ) -> EquivalenceNode:
+    ) -> int:
         """Create one equivalence node per connected sub-set of the block.
+
+        Operates entirely in arena-id space (``leaf_ids`` maps canonical
+        aliases to equivalence ids, the return value is the id of the
+        full-block node): the expansion enumerates thousands of sub-sets and
+        partitions per block, so no façade views are materialized here.
 
         Hash-consing: when a sub-set's equivalence node was already fully
         enumerated by an earlier block (36 overlapping chain queries and the
@@ -1064,14 +1083,21 @@ class DagBuilder:
         shape: Optional[_BlockShape] = None
         if session is not None:
             shape = session.block_shapes.get(shape_key)
+        elif self._shape_memo is not None:
+            shape = self._shape_memo.get(shape_key)
         if shape is None:
             shape = _BlockShape(*shape_key)
             if session is not None:
                 session.block_shapes[shape_key] = shape
+            elif self._shape_memo is not None:
+                self._shape_memo[shape_key] = shape
 
-        nodes_by_mask: Dict[int, EquivalenceNode] = {}
+        arena = self.dag.arena
+        eq_key = arena.eq_key
+        by_key = arena.by_key
+        nodes_by_mask: Dict[int, int] = {}
         for i, alias in enumerate(order):
-            nodes_by_mask[1 << i] = leaf_nodes[alias]
+            nodes_by_mask[1 << i] = leaf_ids[alias]
         full_mask = (1 << n) - 1
 
         # The canonical identity of every sub-set — equivalence key,
@@ -1083,7 +1109,7 @@ class DagBuilder:
         if session is not None:
             block_sig = (
                 shape_key,
-                tuple(self._node_kid[leaf_nodes[a].id] for a in order),
+                tuple(self._node_kid[leaf_ids[a]] for a in order),
                 tuple(p for _, p in pred_masks),
             )
             mask_identity = session.block_keys.get(block_sig)
@@ -1092,13 +1118,16 @@ class DagBuilder:
                 session.block_keys[block_sig] = mask_identity
 
         expanded = self._expanded_joins
+        # Per-block memo of the raw (pre-selectivity) property fold, keyed by
+        # member bitmask — see :meth:`_raw_join_fold`.
+        fold_memo: Dict[int, LogicalProperties] = {}
         for mask in shape.subsets:
             kid = deps_id = None
             identity = mask_identity.get(mask) if mask_identity is not None else None
             if identity is None:
                 predicates = frozenset(pred_masks[i][1] for i in shape.applicable_indices(mask))
                 member_keys = frozenset(
-                    nodes_by_mask[1 << i].key for i in range(n) if mask & (1 << i)
+                    eq_key[nodes_by_mask[1 << i]] for i in range(n) if mask & (1 << i)
                 )
                 key = ("join", member_keys, predicates)
                 if mask_identity is not None:
@@ -1107,46 +1136,46 @@ class DagBuilder:
             else:
                 key, predicates, kid = identity
             canonical = shape.canonical(mask) if expanded is not None else False
-            node = self.dag.find(key)
-            fresh = node is None
+            node_id = by_key.get(key)
+            fresh = node_id is None
             if fresh:
                 if session is not None:
                     members = [nodes_by_mask[1 << i] for i in range(n) if mask & (1 << i)]
-                    deps_id = self._node_deps[members[0].id]
+                    deps_id = self._node_deps[members[0]]
                     for member in members[1:]:
-                        deps_id = session.union_deps(deps_id, self._node_deps[member.id])
+                        deps_id = session.union_deps(deps_id, self._node_deps[member])
                     # Properties are keyed on the ordered member properties —
                     # the row estimate is a float fold over the members in
                     # block-alias order, so two blocks listing the same
                     # sub-set in different orders cache separately.
-                    prop_key = (kid, tuple(self._node_pid[m.id] for m in members))
+                    prop_key = (kid, tuple(self._node_pid[m] for m in members))
                     entry = session.join_props.get(prop_key)
                     if entry is not None:
                         session.stats.hits += 1
                         props = entry[0]
                     else:
                         session.stats.misses += 1
-                        props = self._join_properties(mask, nodes_by_mask, predicates, n)
+                        props = self._join_properties(mask, nodes_by_mask, predicates, fold_memo)
                         session.join_props[prop_key] = (props, deps_id)
                 else:
-                    props = self._join_properties(mask, nodes_by_mask, predicates, n)
+                    props = self._join_properties(mask, nodes_by_mask, predicates, fold_memo)
                 labels = "⋈".join(order[i] for i in range(n) if mask & (1 << i))
-                node = self.dag.equivalence(key, props, labels)
+                node_id = arena.add_equivalence(key, props, labels)
                 if session is not None:
-                    self._register_node(node, deps_id, kid)
-            elif expanded is not None and node.id in expanded and canonical:
+                    self._register_id(node_id, deps_id, kid)
+            elif expanded is not None and node_id in expanded and canonical:
                 # The node's full, key-determined operation set is already in
                 # place (it was marked only after a canonical enumeration);
                 # this block's enumeration would re-derive exactly that set.
-                nodes_by_mask[mask] = node
+                nodes_by_mask[mask] = node_id
                 continue
-            nodes_by_mask[mask] = node
+            nodes_by_mask[mask] = node_id
             record: Optional[List[RecipeEntry]] = None
             if session is not None and canonical:
-                recipe = session.join_recipes.get((kid, self._node_pid[node.id]))
-                if recipe is not None and self._replay_recipe(node, recipe[0]):
+                recipe = session.join_recipes.get((kid, self._node_pid[node_id]))
+                if recipe is not None and self._replay_recipe(node_id, recipe[0]):
                     session.stats.hits += 1
-                    expanded.add(node.id)
+                    expanded.add(node_id)
                     continue
                 if fresh:
                     # Record only on fresh nodes: their per-build join-op memo
@@ -1157,16 +1186,16 @@ class DagBuilder:
             # Enumerate ordered binary partitions (left, right).
             for submask, other in shape.partitions(mask):
                 self._add_join_operation(
-                    node, nodes_by_mask[submask], nodes_by_mask[other], predicates, record
+                    node_id, nodes_by_mask[submask], nodes_by_mask[other], predicates, record
                 )
             if record is not None:
-                session.join_recipes[(kid, self._node_pid[node.id])] = (tuple(record), deps_id)
+                session.join_recipes[(kid, self._node_pid[node_id])] = (tuple(record), deps_id)
             if expanded is not None and canonical:
-                expanded.add(node.id)
+                expanded.add(node_id)
         return nodes_by_mask[full_mask]
 
-    def _replay_recipe(self, node: EquivalenceNode, entries: Tuple[RecipeEntry, ...]) -> bool:
-        """Replay a cached canonical partition enumeration onto *node*.
+    def _replay_recipe(self, node_id: int, entries: Tuple[RecipeEntry, ...]) -> bool:
+        """Replay a cached canonical partition enumeration onto *node_id*.
 
         Validates first, replays second: every referenced child must exist in
         this build and carry the *same properties object* as at record time
@@ -1182,18 +1211,17 @@ class DagBuilder:
             right = kid_node.get(rkid)
             if left is None or right is None:
                 return False
-            if node_pid[left.id] != lpid or node_pid[right.id] != rpid:
+            if node_pid[left] != lpid or node_pid[right] != rpid:
                 return False
             resolved.append((left, right, operator, total))
         memo = self._join_op_memo
-        add_operation = self.dag.add_operation
-        node_id = node.id
+        append_operation = self.dag.arena.append_operation
         for left, right, operator, total in resolved:
-            triple = (node_id, left.id, right.id)
+            triple = (node_id, left, right)
             if triple in memo:
                 continue
             memo.add(triple)
-            add_operation(node, operator, [left, right], total)
+            append_operation(node_id, operator, (left, right), total)
         return True
 
     @staticmethod
@@ -1218,19 +1246,49 @@ class DagBuilder:
             current += 1
         return component
 
+    def _raw_join_fold(
+        self,
+        mask: int,
+        nodes_by_mask: Dict[int, int],
+        fold_memo: Dict[int, LogicalProperties],
+    ) -> LogicalProperties:
+        """The pre-selectivity property fold over *mask*'s members.
+
+        The historical fold is left-associated over the members in block-alias
+        order, so ``fold(mask) = join(fold(mask without its highest member),
+        props[highest member])`` — which lets one per-block memo share every
+        fold prefix across the (heavily overlapping) sub-sets of the block
+        while producing bit-identical estimates.  Prefix masks need not be
+        connected sub-sets themselves; the recursion bottoms out at the
+        single-alias leaves, which are always present in ``nodes_by_mask``.
+        """
+        cached = fold_memo.get(mask)
+        if cached is not None:
+            return cached
+        if mask & (mask - 1) == 0:
+            props = self.dag.arena.eq_props[nodes_by_mask[mask]]
+        else:
+            top = 1 << (mask.bit_length() - 1)
+            props = self.estimator.join(
+                self._raw_join_fold(mask ^ top, nodes_by_mask, fold_memo),
+                self.dag.arena.eq_props[nodes_by_mask[top]],
+                [],
+            )
+        fold_memo[mask] = props
+        return props
+
     def _join_properties(
         self,
         mask: int,
-        nodes_by_mask: Dict[int, EquivalenceNode],
+        nodes_by_mask: Dict[int, int],
         predicates: FrozenSet[Predicate],
-        n: int,
+        fold_memo: Dict[int, LogicalProperties],
     ) -> LogicalProperties:
         """Estimate properties of a join sub-set directly from its leaves,
         so the estimate does not depend on which partition created the node."""
-        members = [nodes_by_mask[1 << i] for i in range(n) if mask & (1 << i)]
-        props = members[0].properties
-        for member in members[1:]:
-            props = self.estimator.join(props, member.properties, [])
+        props = self._raw_join_fold(mask, nodes_by_mask, fold_memo)
+        if not predicates:
+            return props.with_rows(props.rows * 1.0)
         selectivity = 1.0
         # Sorted: ``predicates`` is a frozenset, and float multiplication is
         # not associative — iterating in hash order made the row estimate
@@ -1242,9 +1300,9 @@ class DagBuilder:
 
     def _add_join_operation(
         self,
-        node: EquivalenceNode,
-        left: EquivalenceNode,
-        right: EquivalenceNode,
+        node_id: int,
+        left_id: int,
+        right_id: int,
         all_predicates: FrozenSet[Predicate],
         record: Optional[List[RecipeEntry]] = None,
     ) -> None:
@@ -1252,12 +1310,20 @@ class DagBuilder:
         # the triple determines the connecting predicates and the
         # ``choose_join`` outcome — repeats (the same partition re-derived by
         # an overlapping query) can skip the costing entirely.
+        arena = self.dag.arena
         memo = self._join_op_memo
         if memo is not None:
-            triple = (node.id, left.id, right.id)
+            triple = (node_id, left_id, right_id)
             if triple in memo:
                 return
             memo.add(triple)
+            # The triple memo subsumes the arena's duplicate-signature probe
+            # for join operations (the operator is a function of the triple),
+            # so the memoized path appends unchecked; the reference builder
+            # keeps the probing path below.
+            add_operation = arena.append_operation
+        else:
+            add_operation = arena.add_operation
         session = self._session
         if session is not None:
             node_kid = self._node_kid
@@ -1266,12 +1332,12 @@ class DagBuilder:
             # triple determines the connecting predicates, the properties
             # determine the ``choose_join`` costs.
             cache_key = (
-                node_kid[node.id],
-                node_kid[left.id],
-                node_kid[right.id],
-                node_pid[node.id],
-                node_pid[left.id],
-                node_pid[right.id],
+                node_kid[node_id],
+                node_kid[left_id],
+                node_kid[right_id],
+                node_pid[node_id],
+                node_pid[left_id],
+                node_pid[right_id],
             )
             entry = session.join_ops.get(cache_key)
             if entry is not None:
@@ -1279,57 +1345,67 @@ class DagBuilder:
                 operator, total = entry[0], entry[1]
                 if record is not None:
                     record.append(
-                        (node_kid[left.id], node_pid[left.id],
-                         node_kid[right.id], node_pid[right.id],
+                        (node_kid[left_id], node_pid[left_id],
+                         node_kid[right_id], node_pid[right_id],
                          operator, total)
                     )
-                self.dag.add_operation(node, operator, [left, right], total)
+                add_operation(node_id, operator, (left_id, right_id), total)
                 return
             session.stats.misses += 1
-        left_preds = self._applicable_to(left, all_predicates)
-        right_preds = self._applicable_to(right, all_predicates)
-        connecting = tuple(sorted(all_predicates - left_preds - right_preds, key=self._pred_key))
+        left_preds = self._applicable_to(left_id)
+        right_preds = self._applicable_to(right_id)
+        remaining: FrozenSet[Predicate] = all_predicates
+        if left_preds:
+            remaining = remaining - left_preds
+        if right_preds:
+            remaining = remaining - right_preds
+        # Sorting matters only past one element (the common case is 0 or 1).
+        if len(remaining) > 1:
+            connecting = tuple(sorted(remaining, key=self._pred_key))
+        else:
+            connecting = tuple(remaining)  # repro-lint: ok(D001) 0 or 1 element; no order to leak
         choice = alg.choose_join(
             self.cost_model,
             self.catalog,
-            left.properties,
-            right.properties,
+            arena.eq_props[left_id],
+            arena.eq_props[right_id],
             connecting,
-            node.rows,
-            left_order=self._delivered_order(left),
-            right_order=self._delivered_order(right),
-            right_base_table=right.base_table,
-            right_alias=right.scan_alias,
+            arena.eq_props[node_id].rows,
+            left_order=self._delivered_order(left_id),
+            right_order=self._delivered_order(right_id),
+            right_base_table=arena.eq_base_table[right_id],
+            right_alias=arena.eq_scan_alias[right_id],
         )
         operator = JoinOp(connecting, algorithm=choice.name)
         if session is not None:
             session.join_ops[cache_key] = (
-                operator, choice.total, self._node_deps[node.id]
+                operator, choice.total, self._node_deps[node_id]
             )
             if record is not None:
                 record.append(
-                    (node_kid[left.id], node_pid[left.id],
-                     node_kid[right.id], node_pid[right.id],
+                    (node_kid[left_id], node_pid[left_id],
+                     node_kid[right_id], node_pid[right_id],
                      operator, choice.total)
                 )
-        self.dag.add_operation(node, operator, [left, right], choice.total)
+        add_operation(node_id, operator, (left_id, right_id), choice.total)
 
-    def _applicable_to(self, node: EquivalenceNode, predicates: FrozenSet[Predicate]) -> FrozenSet[Predicate]:
-        """Predicates already applied inside *node* (join sub-set or leaf)."""
+    def _applicable_to(self, eq_id: int) -> FrozenSet[Predicate]:
+        """Predicates already applied inside *eq_id* (join sub-set or leaf)."""
         memo = self._applicable_memo
         if memo is not None:
-            cached = memo.get(node.id)
+            cached = memo.get(eq_id)
             if cached is not None:
                 return cached
-        if isinstance(node.key, tuple) and node.key and node.key[0] == "join":
-            applied = node.key[2]
+        key = self.dag.arena.eq_key[eq_id]
+        if isinstance(key, tuple) and key and key[0] == "join":
+            applied = key[2]
         else:
             applied = frozenset()
         if memo is not None:
-            memo[node.id] = applied
+            memo[eq_id] = applied
         return applied
 
-    def _delivered_order(self, node: EquivalenceNode) -> Tuple[ColumnRef, ...]:
+    def _delivered_order(self, eq_id: int) -> Tuple[ColumnRef, ...]:
         """Sort order delivered by a scan of a clustered base table.
 
         Base-table scans inherit the clustered-index order, which is what
@@ -1338,26 +1414,36 @@ class DagBuilder:
         """
         memo = self._delivered_order_memo
         if memo is not None:
-            cached = memo.get(node.id)
+            cached = memo.get(eq_id)
             if cached is not None:
                 return cached
-        if node.base_table is None or node.scan_alias is None:
+        arena = self.dag.arena
+        base_table = arena.eq_base_table[eq_id]
+        scan_alias = arena.eq_scan_alias[eq_id]
+        if base_table is None or scan_alias is None:
             order: Tuple[ColumnRef, ...] = ()
         else:
-            index = self.catalog.table(node.base_table).clustered_index()
-            order = () if index is None else (ColumnRef(node.scan_alias, index.column),)
+            index = self.catalog.table(base_table).clustered_index()
+            order = () if index is None else (ColumnRef(scan_alias, index.column),)
         if memo is not None:
-            memo[node.id] = order
+            memo[eq_id] = order
         return order
 
     # ------------------------------------------------------------------
     # Materialization costs
     # ------------------------------------------------------------------
     def _assign_materialization_costs(self) -> None:
-        for node in self.dag.equivalence_nodes():
-            if node.is_base:
+        arena = self.dag.arena
+        eq_props = arena.eq_props
+        eq_mat_cost = arena.eq_mat_cost
+        eq_reuse_cost = arena.eq_reuse_cost
+        cost_model = self.cost_model
+        for eq_id, is_base in enumerate(arena.eq_is_base):
+            if is_base:
                 continue
-            mat = self.cost_model.materialization_cost(node.rows, node.tuple_width)
-            node.mat_cost = mat.total
-            if node.reuse_cost == 0.0:
-                node.reuse_cost = self.cost_model.reuse_cost(node.rows, node.tuple_width).total
+            props = eq_props[eq_id]
+            rows = props.rows
+            width = props.tuple_width
+            eq_mat_cost[eq_id] = cost_model.materialization_cost(rows, width).total
+            if eq_reuse_cost[eq_id] == 0.0:
+                eq_reuse_cost[eq_id] = cost_model.reuse_cost(rows, width).total

@@ -17,12 +17,30 @@ extension of Section 5: an input that is probed once per invocation of a
 correlated sub-query has a multiplier equal to the estimated number of
 invocations, which is exactly how the paper multiplies materialization
 benefits for invariant sub-expressions.
+
+**Storage.**  Since PR 8 the nodes themselves live in a struct-of-arrays
+:class:`~repro.dag.arena.DagArena` owned by the :class:`Dag`:
+:class:`EquivalenceNode` and :class:`OperationNode` (defined in
+:mod:`repro.dag.arena`, re-exported here) are canonical two-slot *views*
+over dense arena ids, so the public object API is unchanged while the
+builder, subsumption pass, and cost engine operate on flat id-indexed
+columns.  ``Dag.add_operation`` deduplicates repeated derivations with one
+interned-signature dict probe instead of the historical per-node scan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 if TYPE_CHECKING:
     from repro.optimizer.engine import CostEngine
@@ -31,6 +49,24 @@ from repro.algebra.columns import ColumnRef
 from repro.algebra.expressions import AggregateFunction
 from repro.algebra.predicates import Predicate
 from repro.cost.estimation import LogicalProperties
+from repro.dag.arena import DagArena, DagError, EquivalenceNode, OperationNode
+
+__all__ = [
+    "Operator",
+    "TableOp",
+    "ScanOp",
+    "SelectOp",
+    "ProjectOp",
+    "JoinOp",
+    "AggregateOp",
+    "NestedApplyOp",
+    "NoOp",
+    "OperationNode",
+    "EquivalenceNode",
+    "DagArena",
+    "DagError",
+    "Dag",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -157,119 +193,8 @@ class NoOp(Operator):
 
 
 # ---------------------------------------------------------------------------
-# DAG nodes
+# DAG container
 # ---------------------------------------------------------------------------
-
-class OperationNode:
-    """An AND node: one way of computing its owning equivalence node."""
-
-    __slots__ = (
-        "id",
-        "operator",
-        "children",
-        "child_multipliers",
-        "equivalence",
-        "local_cost",
-        "is_subsumption",
-        "signature",
-    )
-
-    def __init__(
-        self,
-        node_id: int,
-        operator: Operator,
-        children: Tuple["EquivalenceNode", ...],
-        equivalence: "EquivalenceNode",
-        local_cost: float,
-        child_multipliers: Optional[Tuple[float, ...]] = None,
-        is_subsumption: bool = False,
-        signature: Optional[Tuple[object, ...]] = None,
-    ) -> None:
-        self.id = node_id
-        self.operator = operator
-        self.children = children
-        self.child_multipliers = child_multipliers or (1.0,) * len(children)
-        self.equivalence = equivalence
-        self.local_cost = float(local_cost)
-        self.is_subsumption = is_subsumption
-        # ``Dag.add_operation`` already computed the signature for its
-        # duplicate check; accept it instead of rebuilding the child-id tuple.
-        self.signature = signature or (operator, tuple(c.id for c in children))
-
-    def __repr__(self) -> str:
-        kids = ",".join(str(c.id) for c in self.children)
-        return f"<Op {self.id} {self.operator.describe()} children=[{kids}]>"
-
-
-class EquivalenceNode:
-    """An OR node: the set of alternative operations producing one result."""
-
-    __slots__ = (
-        "id",
-        "key",
-        "label",
-        "operations",
-        "parents",
-        "properties",
-        "mat_cost",
-        "reuse_cost",
-        "topo_number",
-        "is_base",
-        "base_table",
-        "scan_alias",
-        "created_by_subsumption",
-    )
-
-    def __init__(
-        self,
-        node_id: int,
-        key: Hashable,
-        properties: LogicalProperties,
-        label: str = "",
-        is_base: bool = False,
-        base_table: Optional[str] = None,
-        scan_alias: Optional[str] = None,
-    ) -> None:
-        self.id = node_id
-        self.key = key
-        self.label = label or str(key)
-        self.operations: List[OperationNode] = []
-        self.parents: List[OperationNode] = []
-        self.properties = properties
-        self.mat_cost = 0.0
-        self.reuse_cost = 0.0
-        self.topo_number = -1
-        self.is_base = is_base
-        #: Base table name if this node is the stored table or a plain scan of
-        #: it (used by index-nested-loops applicability tests).
-        self.base_table = base_table
-        self.scan_alias = scan_alias
-        self.created_by_subsumption = False
-
-    @property
-    def rows(self) -> float:
-        return self.properties.rows
-
-    @property
-    def tuple_width(self) -> int:
-        return self.properties.tuple_width
-
-    def child_equivalences(self) -> Iterator["EquivalenceNode"]:
-        """All equivalence nodes reachable through one operation level."""
-        for operation in self.operations:
-            yield from operation.children
-
-    def parent_equivalences(self) -> Iterator["EquivalenceNode"]:
-        for parent in self.parents:
-            yield parent.equivalence
-
-    def __repr__(self) -> str:
-        return f"<Eq {self.id} {self.label} rows={self.rows:.0f}>"
-
-
-class DagError(RuntimeError):
-    """Raised on structural errors while building or validating the DAG."""
-
 
 class Dag:
     """The AND-OR DAG of a batch of queries.
@@ -277,17 +202,20 @@ class Dag:
     The DAG is rooted at a pseudo equivalence node (``root``) whose single
     no-op operation has the root equivalence node of every query as an input
     (Section 2.1 of the paper).
+
+    All node storage lives in ``self.arena`` (see :class:`DagArena`); the
+    methods below are the object-level façade.  Hot construction paths (the
+    builder's join-space expansion, the subsumption pass) bypass the façade
+    and call :meth:`add_operation_id` / the arena directly with dense ids.
     """
 
     if TYPE_CHECKING:
         # Type-only declaration of the dense cost-engine snapshot installed
-        # lazily by :func:`repro.optimizer.engine.cost_engine_for`.
+        # lazily by :func:`repro.optimizer.engine.get_engine`.
         _cost_engine: Tuple[Tuple[int, int], "CostEngine"]
 
     def __init__(self) -> None:
-        self._equivalences: List[EquivalenceNode] = []
-        self._operations: List[OperationNode] = []
-        self._by_key: Dict[Hashable, EquivalenceNode] = {}
+        self.arena = DagArena()
         self.root: Optional[EquivalenceNode] = None
         self.query_roots: List[EquivalenceNode] = []
         self.query_names: List[str] = []
@@ -308,25 +236,29 @@ class Dag:
         parts of one query) that produce the same canonical key share a single
         equivalence node.
         """
-        existing = self._by_key.get(key)
+        arena = self.arena
+        existing = arena.by_key.get(key)
         if existing is not None:
-            return existing
-        node = EquivalenceNode(
-            len(self._equivalences),
-            key,
-            properties,
-            label,
-            is_base=is_base,
-            base_table=base_table,
-            scan_alias=scan_alias,
+            return arena.eq_view(existing)
+        return arena.eq_view(
+            arena.add_equivalence(
+                key,
+                properties,
+                label,
+                is_base=is_base,
+                base_table=base_table,
+                scan_alias=scan_alias,
+            )
         )
-        self._equivalences.append(node)
-        self._by_key[key] = node
-        return node
 
     def find(self, key: Hashable) -> Optional[EquivalenceNode]:
         """Return the equivalence node for *key* if it exists."""
-        return self._by_key.get(key)
+        eq_id = self.arena.by_key.get(key)
+        return None if eq_id is None else self.arena.eq_view(eq_id)
+
+    def find_id(self, key: Hashable) -> Optional[int]:
+        """Return the equivalence node *id* for *key* if it exists."""
+        return self.arena.by_key.get(key)
 
     def add_operation(
         self,
@@ -341,29 +273,33 @@ class Dag:
 
         Duplicate derivations (same operator, same children) can arise when
         different queries contribute the same sub-expression; they are
-        detected by signature and returned instead of re-added, mirroring the
-        hashing-based duplicate detection of the Volcano DAG generator.
+        detected against the arena's interned signature table and returned
+        instead of re-added, mirroring the hashing-based duplicate detection
+        of the Volcano DAG generator.
         """
-        signature = (operator, tuple(c.id for c in children))
-        for existing in equivalence.operations:
-            if existing.signature == signature:
-                return existing
-        multipliers = tuple(child_multipliers) if child_multipliers is not None else None
-        operation = OperationNode(
-            len(self._operations),
+        op_id = self.arena.add_operation(
+            equivalence.id,
             operator,
-            tuple(children),
-            equivalence,
+            tuple(child.id for child in children),
             local_cost,
-            multipliers,
+            tuple(child_multipliers) if child_multipliers is not None else None,
             is_subsumption,
-            signature,
         )
-        self._operations.append(operation)
-        equivalence.operations.append(operation)
-        for child in children:
-            child.parents.append(operation)
-        return operation
+        return self.arena.op_view(op_id)
+
+    def add_operation_id(
+        self,
+        eq_id: int,
+        operator: Operator,
+        child_ids: Tuple[int, ...],
+        local_cost: float,
+        child_multipliers: Optional[Tuple[float, ...]] = None,
+        is_subsumption: bool = False,
+    ) -> int:
+        """:meth:`add_operation` in id space (the hot-path form)."""
+        return self.arena.add_operation(
+            eq_id, operator, child_ids, local_cost, child_multipliers, is_subsumption
+        )
 
     def set_root(self, root: EquivalenceNode, query_roots: Sequence[EquivalenceNode]) -> None:
         self.root = root
@@ -371,27 +307,29 @@ class Dag:
 
     # -- access ---------------------------------------------------------------
     def equivalence_nodes(self) -> Tuple[EquivalenceNode, ...]:
-        return tuple(self._equivalences)
+        arena = self.arena
+        return tuple(arena.eq_view(eq_id) for eq_id in range(arena.num_equivalences))
 
     def node_by_id(self, node_id: int) -> EquivalenceNode:
         """The equivalence node with the given id (ids are dense ``0..n-1``)."""
-        if 0 <= node_id < len(self._equivalences):
-            return self._equivalences[node_id]
+        if 0 <= node_id < self.arena.num_equivalences:
+            return self.arena.eq_view(node_id)
         raise DagError(f"unknown equivalence node id {node_id}")
 
     def operation_nodes(self) -> Tuple[OperationNode, ...]:
-        return tuple(self._operations)
+        arena = self.arena
+        return tuple(arena.op_view(op_id) for op_id in range(arena.num_operations))
 
     def __len__(self) -> int:
-        return len(self._equivalences)
+        return self.arena.num_equivalences
 
     @property
     def num_equivalence_nodes(self) -> int:
-        return len(self._equivalences)
+        return self.arena.num_equivalences
 
     @property
     def num_operation_nodes(self) -> int:
-        return len(self._operations)
+        return self.arena.num_operations
 
     # -- structure maintenance ------------------------------------------------
     def assign_topological_numbers(self) -> None:
@@ -403,51 +341,39 @@ class Dag:
         """
         if self.root is None:
             raise DagError("cannot topologically number a DAG without a root")
-        visited: Dict[int, int] = {}
-        counter = 0
-        # Iterative post-order DFS to avoid recursion limits on deep DAGs.
-        stack: List[Tuple[EquivalenceNode, bool]] = [(self.root, False)]
-        on_path: Set[int] = set()
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                on_path.discard(node.id)
-                if node.id not in visited:
-                    visited[node.id] = counter
-                    node.topo_number = counter
-                    counter += 1
-                continue
-            if node.id in visited:
-                continue
-            if node.id in on_path:
-                raise DagError(f"cycle detected at equivalence node {node!r}")
-            on_path.add(node.id)
-            stack.append((node, True))
-            for operation in node.operations:
-                for child in operation.children:
-                    if child.id not in visited:
-                        stack.append((child, False))
-        # Nodes unreachable from the root (none in practice) get numbers after
-        # the reachable ones so that sorting is still total.
-        for node in self._equivalences:
-            if node.topo_number < 0:
-                node.topo_number = counter
-                counter += 1
+        self.arena.assign_topological_numbers(self.root.id)
 
     def validate(self) -> None:
         """Check structural invariants; raises :class:`DagError` on violation."""
         if self.root is None:
             raise DagError("DAG has no root")
         self.assign_topological_numbers()
-        for operation in self._operations:
-            for child in operation.children:
-                if child.topo_number >= operation.equivalence.topo_number:
+        arena = self.arena
+        eq_topo = arena.eq_topo
+        for op_id in range(arena.num_operations):
+            owner_topo = eq_topo[arena.op_owner[op_id]]
+            child_ids = arena.op_children[op_id]
+            for child_id in child_ids:
+                if eq_topo[child_id] >= owner_topo:
                     raise DagError(
                         "topological order violated between "
-                        f"{operation.equivalence!r} and child {child!r}"
+                        f"{arena.eq_view(arena.op_owner[op_id])!r} and child "
+                        f"{arena.eq_view(child_id)!r}"
                     )
-            if len(operation.child_multipliers) != len(operation.children):
-                raise DagError(f"multiplier arity mismatch on {operation!r}")
-        for node in self._equivalences:
-            if not node.operations and not node.is_base:
-                raise DagError(f"non-base equivalence node {node!r} has no operations")
+            if len(arena.op_multipliers[op_id]) != len(child_ids):
+                raise DagError(
+                    f"multiplier arity mismatch on {arena.op_view(op_id)!r}"
+                )
+        for eq_id in range(arena.num_equivalences):
+            if not arena.eq_op_ids[eq_id] and not arena.eq_is_base[eq_id]:
+                raise DagError(
+                    f"non-base equivalence node {arena.eq_view(eq_id)!r} has no operations"
+                )
+
+    # -- pickling --------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        """Drop the lazily attached cost-engine snapshot; it is a derived
+        structure rebuilt on demand by :func:`repro.optimizer.engine.get_engine`."""
+        state = self.__dict__.copy()
+        state.pop("_cost_engine", None)
+        return state

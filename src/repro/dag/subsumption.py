@@ -51,7 +51,7 @@ from repro.algebra.predicates import (
     or_,
 )
 from repro.cost import algorithms as alg
-from repro.dag.nodes import AggregateOp, EquivalenceNode, SelectOp
+from repro.dag.nodes import AggregateOp, SelectOp
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.dag.builder import DagBuilder
@@ -74,29 +74,26 @@ def apply_subsumption(builder: "DagBuilder") -> int:
 # Selection subsumption on scans and selects
 # ---------------------------------------------------------------------------
 
-def _scan_groups(builder: "DagBuilder") -> Dict[Tuple[str, str], List[EquivalenceNode]]:
-    """Group scan equivalence nodes by (table, alias)."""
-    groups: Dict[Tuple[str, str], List[EquivalenceNode]] = defaultdict(list)
-    for node in builder.dag.equivalence_nodes():
-        key = node.key
+def _scan_groups(builder: "DagBuilder") -> Dict[Tuple[str, str], List[int]]:
+    """Group scan equivalence node ids by (table, alias)."""
+    groups: Dict[Tuple[str, str], List[int]] = defaultdict(list)
+    for eq_id, key in enumerate(builder.dag.arena.eq_key):
         if isinstance(key, tuple) and key and key[0] == "scan":
-            groups[(key[1], key[2])].append(node)
+            groups[(key[1], key[2])].append(eq_id)
     return groups
 
 
-def _select_groups(builder: "DagBuilder") -> Dict[object, List[EquivalenceNode]]:
-    """Group select equivalence nodes by their child key."""
-    groups: Dict[object, List[EquivalenceNode]] = defaultdict(list)
-    for node in builder.dag.equivalence_nodes():
-        key = node.key
+def _select_groups(builder: "DagBuilder") -> Dict[object, List[int]]:
+    """Group select equivalence node ids by their child key."""
+    groups: Dict[object, List[int]] = defaultdict(list)
+    for eq_id, key in enumerate(builder.dag.arena.eq_key):
         if isinstance(key, tuple) and key and key[0] == "select":
-            groups[key[1]].append(node)
+            groups[key[1]].append(eq_id)
     return groups
 
 
-def _node_predicates(node: EquivalenceNode) -> FrozenSet[Predicate]:
-    """The selection predicates applied by a scan/select equivalence node."""
-    key = node.key
+def _key_predicates(key: object) -> FrozenSet[Predicate]:
+    """The selection predicates applied by a scan/select equivalence key."""
     if isinstance(key, tuple) and key and key[0] in ("scan", "select"):
         return key[-1]
     return frozenset()
@@ -104,18 +101,21 @@ def _node_predicates(node: EquivalenceNode) -> FrozenSet[Predicate]:
 
 def _selection_subsumption(builder: "DagBuilder") -> int:
     added = 0
+    arena = builder.dag.arena
+    eq_key = arena.eq_key
+    eq_props = arena.eq_props
     groups = list(_scan_groups(builder).values()) + list(_select_groups(builder).values())
     for members in groups:
         if len(members) < 2:
             continue
         for stronger in members:
-            stronger_preds = _node_predicates(stronger)
+            stronger_preds = _key_predicates(eq_key[stronger])
             if not stronger_preds:
                 continue
             for weaker in members:
-                if weaker is stronger:
+                if weaker == stronger:
                     continue
-                weaker_preds = _node_predicates(weaker)
+                weaker_preds = _key_predicates(eq_key[weaker])
                 if stronger_preds == weaker_preds:
                     continue
                 if not weaker_preds:
@@ -125,11 +125,13 @@ def _selection_subsumption(builder: "DagBuilder") -> int:
                     # (and printed by plan explains), and iterating the
                     # frozenset directly made it vary with PYTHONHASHSEED.
                     predicate = and_(*sorted(stronger_preds, key=builder._pred_key))
-                    cost = alg.filter_cost(builder.cost_model, weaker.rows, stronger.rows)
-                    builder.dag.add_operation(
+                    cost = alg.filter_cost(
+                        builder.cost_model, eq_props[weaker].rows, eq_props[stronger].rows
+                    )
+                    builder.dag.add_operation_id(
                         stronger,
                         SelectOp(predicate),
-                        [weaker],
+                        (weaker,),
                         cost.total,
                         is_subsumption=True,
                     )
@@ -155,12 +157,15 @@ def _single_equality(predicates: FrozenSet[Predicate]) -> Optional[Comparison]:
 
 def _disjunction_subsumption(builder: "DagBuilder") -> int:
     added = 0
+    arena = builder.dag.arena
+    eq_key = arena.eq_key
+    eq_props = arena.eq_props
     for (table, alias), members in _scan_groups(builder).items():
-        by_column: Dict[ColumnRef, List[Tuple[EquivalenceNode, Comparison]]] = defaultdict(list)
-        for node in members:
-            comparison = _single_equality(_node_predicates(node))
+        by_column: Dict[ColumnRef, List[Tuple[int, Comparison]]] = defaultdict(list)
+        for eq_id in members:
+            comparison = _single_equality(_key_predicates(eq_key[eq_id]))
             if comparison is not None:
-                by_column[comparison.left].append((node, comparison))
+                by_column[comparison.left].append((eq_id, comparison))
         for column, entries in by_column.items():
             if len(entries) < 2:
                 continue
@@ -168,14 +173,16 @@ def _disjunction_subsumption(builder: "DagBuilder") -> int:
             if len(distinct) < 2:
                 continue
             disjunction = or_(*sorted((c for _, c in entries), key=builder._pred_key))
-            shared = builder.scan_equivalence(table, alias, [disjunction])
-            shared.created_by_subsumption = True
-            for node, comparison in entries:
-                if node is shared:
+            shared_id = builder.scan_equivalence(table, alias, [disjunction]).id
+            arena.eq_created_by_subsumption[shared_id] = True
+            for eq_id, comparison in entries:
+                if eq_id == shared_id:
                     continue
-                cost = alg.filter_cost(builder.cost_model, shared.rows, node.rows)
-                builder.dag.add_operation(
-                    node, SelectOp(comparison), [shared], cost.total, is_subsumption=True
+                cost = alg.filter_cost(
+                    builder.cost_model, eq_props[shared_id].rows, eq_props[eq_id].rows
+                )
+                builder.dag.add_operation_id(
+                    eq_id, SelectOp(comparison), (shared_id,), cost.total, is_subsumption=True
                 )
                 added += 1
     return added
@@ -190,9 +197,11 @@ _DECOMPOSABLE = {"sum": "sum", "min": "min", "max": "max", "count": "sum"}
 
 def _aggregate_subsumption(builder: "DagBuilder") -> int:
     added = 0
-    groups: Dict[object, List[EquivalenceNode]] = defaultdict(list)
-    for node in builder.dag.equivalence_nodes():
-        key = node.key
+    arena = builder.dag.arena
+    eq_key = arena.eq_key
+    eq_props = arena.eq_props
+    groups: Dict[object, List[int]] = defaultdict(list)
+    for eq_id, key in enumerate(eq_key):
         if isinstance(key, tuple) and key and key[0] == "agg":
             child_key, group_by, aggregates = key[1], key[2], key[3]
             if not group_by:
@@ -200,39 +209,41 @@ def _aggregate_subsumption(builder: "DagBuilder") -> int:
             if any(a.func not in _DECOMPOSABLE for a in aggregates):
                 continue
             signature = (child_key, frozenset((a.func, a.column) for a in aggregates))
-            groups[signature].append(node)
+            groups[signature].append(eq_id)
     for members in groups.values():
-        group_sets = {frozenset(n.key[2]) for n in members}
+        group_sets = {frozenset(eq_key[m][2]) for m in members}
         if len(group_sets) < 2:
             continue
         combined_columns = tuple(sorted(frozenset().union(*group_sets)))
-        template = members[0]
-        child = _aggregate_child(builder, template)
-        if child is None:
+        template_key = eq_key[members[0]]
+        child_id = _aggregate_child_id(builder, members[0])
+        if child_id is None:
             continue
-        aggregates = template.key[3]
+        aggregates = template_key[3]
         combined_alias = "shared_" + "_".join(sorted(c.column for c in combined_columns))
         combined = builder.aggregate_equivalence(
-            child, combined_columns, aggregates, combined_alias
+            arena.eq_view(child_id), combined_columns, aggregates, combined_alias
         )
-        combined.created_by_subsumption = True
-        for node in members:
-            if frozenset(node.key[2]) == frozenset(combined_columns):
+        combined_id = combined.id
+        arena.eq_created_by_subsumption[combined_id] = True
+        for eq_id in members:
+            node_key = eq_key[eq_id]
+            if frozenset(node_key[2]) == frozenset(combined_columns):
                 continue
-            regroup = tuple(ColumnRef(combined_alias, c.column) for c in node.key[2])
+            regroup = tuple(ColumnRef(combined_alias, c.column) for c in node_key[2])
             re_aggs = tuple(
                 AggregateFunction(
                     _DECOMPOSABLE[a.func], ColumnRef(combined_alias, a.alias), a.alias
                 )
-                for a in node.key[3]
+                for a in node_key[3]
             )
             choice = alg.choose_aggregate(
-                builder.cost_model, combined.properties, regroup, node.rows
+                builder.cost_model, eq_props[combined_id], regroup, eq_props[eq_id].rows
             )
-            builder.dag.add_operation(
-                node,
-                AggregateOp(regroup, re_aggs, node.key[4]),
-                [combined],
+            builder.dag.add_operation_id(
+                eq_id,
+                AggregateOp(regroup, re_aggs, node_key[4]),
+                (combined_id,),
                 choice.total,
                 is_subsumption=True,
             )
@@ -240,10 +251,11 @@ def _aggregate_subsumption(builder: "DagBuilder") -> int:
     return added
 
 
-def _aggregate_child(builder: "DagBuilder", node: EquivalenceNode) -> Optional[EquivalenceNode]:
-    for operation in node.operations:
-        if isinstance(operation.operator, AggregateOp) and not operation.is_subsumption:
-            return operation.children[0]
+def _aggregate_child_id(builder: "DagBuilder", eq_id: int) -> Optional[int]:
+    arena = builder.dag.arena
+    for op_id in arena.eq_op_ids[eq_id]:
+        if isinstance(arena.op_operator[op_id], AggregateOp) and not arena.op_is_subsumption[op_id]:
+            return arena.op_children[op_id][0]
     return None
 
 
@@ -253,9 +265,11 @@ def _aggregate_child(builder: "DagBuilder", node: EquivalenceNode) -> Optional[E
 
 def _join_subsumption(builder: "DagBuilder") -> int:
     added = 0
-    groups: Dict[object, List[EquivalenceNode]] = defaultdict(list)
-    for node in builder.dag.equivalence_nodes():
-        key = node.key
+    arena = builder.dag.arena
+    eq_key = arena.eq_key
+    eq_props = arena.eq_props
+    groups: Dict[object, List[int]] = defaultdict(list)
+    for eq_id, key in enumerate(eq_key):
         if not (isinstance(key, tuple) and key and key[0] == "join"):
             continue
         leaf_keys, join_preds = key[1], key[2]
@@ -269,15 +283,15 @@ def _join_subsumption(builder: "DagBuilder") -> int:
                 break
         if not ok:
             continue
-        groups[(frozenset(identities), join_preds)].append(node)
+        groups[(frozenset(identities), join_preds)].append(eq_id)
 
     for (identities, join_preds), members in groups.items():
         if len(members) < 2:
             continue
         # Intersect the per-leaf selections across the group.
         per_leaf: Dict[Tuple[str, str], List[FrozenSet[Predicate]]] = defaultdict(list)
-        for node in members:
-            for leaf_key in node.key[1]:
+        for eq_id in members:
+            for leaf_key in eq_key[eq_id][1]:
                 per_leaf[(leaf_key[1], leaf_key[2])].append(leaf_key[3])
         weak_preds = {
             identity: frozenset.intersection(*pred_sets)
@@ -285,27 +299,29 @@ def _join_subsumption(builder: "DagBuilder") -> int:
         }
         if all(
             weak_preds[(leaf_key[1], leaf_key[2])] == leaf_key[3]
-            for node in members
-            for leaf_key in node.key[1]
+            for eq_id in members
+            for leaf_key in eq_key[eq_id][1]
         ):
             continue  # the members are already identical in their selections
-        weak_node = _weak_join_node(builder, weak_preds, join_preds)
-        if weak_node is None:
+        weak_id = _weak_join_node(builder, weak_preds, join_preds)
+        if weak_id is None:
             continue
-        weak_node.created_by_subsumption = True
-        for node in members:
-            if node is weak_node:
+        arena.eq_created_by_subsumption[weak_id] = True
+        for eq_id in members:
+            if eq_id == weak_id:
                 continue
             residual: List[Predicate] = []
-            for leaf_key in node.key[1]:
+            for leaf_key in eq_key[eq_id][1]:
                 extra = leaf_key[3] - weak_preds[(leaf_key[1], leaf_key[2])]
                 residual.extend(extra)
             if not residual:
                 continue
             predicate = and_(*sorted(residual, key=builder._pred_key))
-            cost = alg.filter_cost(builder.cost_model, weak_node.rows, node.rows)
-            builder.dag.add_operation(
-                node, SelectOp(predicate), [weak_node], cost.total, is_subsumption=True
+            cost = alg.filter_cost(
+                builder.cost_model, eq_props[weak_id].rows, eq_props[eq_id].rows
+            )
+            builder.dag.add_operation_id(
+                eq_id, SelectOp(predicate), (weak_id,), cost.total, is_subsumption=True
             )
             added += 1
     return added
@@ -315,8 +331,8 @@ def _weak_join_node(
     builder: "DagBuilder",
     weak_preds: Dict[Tuple[str, str], FrozenSet[Predicate]],
     join_preds: FrozenSet[Predicate],
-) -> Optional[EquivalenceNode]:
-    """Build (or find) the join node over the weakened leaves.
+) -> Optional[int]:
+    """Build (or find) the id of the join node over the weakened leaves.
 
     Memoized on the weakened selections and join predicates: the result is a
     pure function of them, so a repeat group resolves without re-deriving the
@@ -348,14 +364,14 @@ def _weak_join_node(
             session.weak_joins[memo_key] = plan
     leaf_specs, ordered_joins = plan
     aliases = []
-    leaf_nodes: Dict[str, EquivalenceNode] = {}
+    leaf_ids: Dict[str, int] = {}
     for table, alias, predicates in leaf_specs:
         aliases.append(alias)
-        leaf_nodes[alias] = builder.scan_equivalence(table, alias, predicates)
+        leaf_ids[alias] = builder.scan_equivalence(table, alias, predicates).id
     if len(aliases) < 2:
         node = None
     else:
-        node = builder._expand_join_space(aliases, leaf_nodes, list(ordered_joins))
+        node = builder._expand_join_space(aliases, leaf_ids, list(ordered_joins))
     if memo is not None:
         memo[memo_key] = node
     return node

@@ -187,7 +187,7 @@ class CostEngine:
 
     __slots__ = (
         "dag",
-        "nodes",
+        "arena",
         "num_nodes",
         "root_id",
         "topo_order",
@@ -198,72 +198,64 @@ class CostEngine:
         "reuse_cost",
         "op_table",
         "op_specs",
-        "op_nodes",
         "op_ids",
         "op_entry_by_op_id",
-        "op_node_by_id",
         "op_owner",
         "op_is_subsumption",
         "parent_ids",
         "parent_op_ids",
         "created_by_subsumption",
         "_baseline_costs",
+        "_nodes",
+        "_op_nodes",
+        "_op_node_by_id",
     )
 
     def __init__(self, dag: Dag) -> None:
         if dag.root is None:
             raise DagError("cannot build a cost engine for a DAG without a root")
-        nodes = dag.equivalence_nodes()
-        for index, node in enumerate(nodes):
-            if node.id != index:
-                raise DagError(
-                    f"equivalence node ids must be dense, got id {node.id} at index {index}"
-                )
         # Renumber unconditionally: the snapshot is built once per DAG shape,
         # and existing numbers may be stale if operations were added after a
         # previous numbering (Dag.add_operation does not invalidate them).
         dag.assign_topological_numbers()
 
+        # The arena already stores the DAG as dense id-indexed columns (ids
+        # are dense 0..n-1 by construction), so the snapshot degrades to
+        # copying the mutable per-node scalars, aliasing the append-only
+        # per-operation columns, and grouping precomputed kernel entries per
+        # node — no object-graph traversal.
+        arena = dag.arena
         self.dag = dag
-        #: id -> EquivalenceNode (ids are dense, so a list is the id map).
-        self.nodes: List[EquivalenceNode] = list(nodes)
-        self.num_nodes = len(nodes)
+        self.arena = arena
+        num_nodes = arena.num_equivalences
+        self.num_nodes = num_nodes
         self.root_id = dag.root.id
-        self.topo_number: List[int] = [node.topo_number for node in nodes]
+        self.topo_number: List[int] = list(arena.eq_topo)
         self.topo_order: List[int] = sorted(
-            range(self.num_nodes), key=self.topo_number.__getitem__
+            range(num_nodes), key=self.topo_number.__getitem__
         )
         #: ``topo_number * num_nodes + id``: a single-int heap key whose
         #: ordering equals the ``(topo_number, id)`` tuple's, decoded with
         #: ``key % num_nodes`` — avoids a tuple allocation and a tuple
         #: comparison per propagation-frontier push/pop.
         self.topo_key: List[int] = [
-            number * self.num_nodes + node_id
+            number * num_nodes + node_id
             for node_id, number in enumerate(self.topo_number)
         ]
-        self.is_base: List[bool] = [node.is_base for node in nodes]
-        self.mat_cost: List[float] = [node.mat_cost for node in nodes]
-        self.reuse_cost: List[float] = [node.reuse_cost for node in nodes]
+        # Copied (not aliased): the snapshot's annotations stay frozen even
+        # if a caller re-annotates the DAG afterwards (see :func:`get_engine`).
+        self.is_base: List[bool] = list(arena.eq_is_base)
+        self.mat_cost: List[float] = list(arena.eq_mat_cost)
+        self.reuse_cost: List[float] = list(arena.eq_reuse_cost)
+        is_base = self.is_base
+        eq_op_ids = arena.eq_op_ids
+        arena.sync_op_tables()
+        op_entry = arena.op_entry
+        op_spec = arena.op_spec
         #: Per node: one (local_cost, ((child_id, multiplier), ...)) per operation,
         #: in the same order as ``node.operations`` (ties keep the first op).
         self.op_table: List[Tuple[Tuple[float, Tuple[Tuple[int, float], ...]], ...]] = [
-            tuple(
-                (
-                    operation.local_cost,
-                    tuple(
-                        (child.id, multiplier)
-                        for child, multiplier in zip(
-                            operation.children, operation.child_multipliers
-                        )
-                    ),
-                )
-                for operation in node.operations
-            )
-            for node in nodes
-        ]
-        #: Parallel to ``op_table``: the OperationNode objects, for argmin results.
-        self.op_nodes: List[Tuple[OperationNode, ...]] = [
-            tuple(node.operations) for node in nodes
+            tuple(op_entry[op_id] for op_id in op_ids) for op_ids in eq_op_ids
         ]
         #: Arity-specialized variant of ``op_table`` for the propagation inner
         #: loop: ``None`` for nodes that are never recomputed (base tables,
@@ -273,69 +265,89 @@ class CostEngine:
         #: — distinguished by ``len``.  A single unpack plus one arithmetic
         #: expression replaces the nested child loop; the left-associated
         #: expression evaluates bit-identically to the sequential
-        #: accumulation it replaces.
-        self.op_specs: List[Optional[Tuple[Tuple[Any, ...], ...]]] = []
-        for node_id, operations in enumerate(self.op_table):
-            if self.is_base[node_id] or not operations:
-                self.op_specs.append(None)
-                continue
-            specs = []
-            for local_cost, children in operations:
-                if len(children) == 2:
-                    (c1, m1), (c2, m2) = children
-                    specs.append((c1, m1, c2, m2, local_cost))
-                elif len(children) == 1:
-                    ((c1, m1),) = children
-                    specs.append((c1, m1, local_cost))
-                else:
-                    specs.append((children, local_cost))
-            self.op_specs.append(tuple(specs))
-        #: Per node: operation-node ids, parallel to ``op_table``/``op_nodes``.
-        self.op_ids: List[Tuple[int, ...]] = [
-            tuple(operation.id for operation in node.operations) for node in nodes
+        #: accumulation it replaces.  The per-operation tuples are built once
+        #: by the arena (``sync_op_tables`` above); the engine only groups
+        #: them per node.
+        self.op_specs: List[Optional[Tuple[Tuple[Any, ...], ...]]] = [
+            None
+            if is_base[node_id] or not op_ids
+            else tuple(op_spec[op_id] for op_id in op_ids)
+            for node_id, op_ids in enumerate(eq_op_ids)
         ]
+        #: Per node: operation-node ids, parallel to ``op_table``/``op_nodes``.
+        self.op_ids: List[Tuple[int, ...]] = [tuple(op_ids) for op_ids in eq_op_ids]
         #: Operation-node id -> its flat ``(local_cost, children)`` entry, for
         #: costing a *given* operation (Volcano-SH prices the plan's chosen
-        #: operation rather than the argmin).  Operation ids are dense.
-        self.op_entry_by_op_id: Dict[int, Tuple[float, Tuple[Tuple[int, float], ...]]] = {
-            operation.id: entry
-            for node_id in range(self.num_nodes)
-            for operation, entry in zip(self.op_nodes[node_id], self.op_table[node_id])
-        }
-        # Operation ids are dense 0..m-1 (Dag.add_operation numbers them by
-        # append order), so plain lists indexed by operation id serve as the
-        # id maps for the per-operation scalars below.
-        op_list = dag.operation_nodes()
-        for index, operation in enumerate(op_list):
-            if operation.id != index:
-                raise DagError(
-                    f"operation node ids must be dense, got id {operation.id} at index {index}"
-                )
-        #: Operation id -> OperationNode (for converting flat choices back).
-        self.op_node_by_id: List[OperationNode] = list(op_list)
-        #: Operation id -> id of the equivalence node the operation computes.
-        self.op_owner: List[int] = [operation.equivalence.id for operation in op_list]
+        #: operation rather than the argmin).  Operation ids are dense, and
+        #: the arena column is append-only with immutable entries, so the
+        #: alias is index-stable.
+        self.op_entry_by_op_id: List[Tuple[float, Tuple[Tuple[int, float], ...]]] = op_entry
+        #: Operation id -> id of the equivalence node the operation computes
+        #: (append-only arena column, aliased).
+        self.op_owner: List[int] = arena.op_owner
         #: Operation id -> ``is_subsumption`` flag (Volcano-SH pre-pass/undo).
-        self.op_is_subsumption: List[bool] = [
-            operation.is_subsumption for operation in op_list
-        ]
+        self.op_is_subsumption: List[bool] = arena.op_is_subsumption
+        op_owner = arena.op_owner
         #: Per node: unique ids of parent equivalence nodes (upward adjacency).
         self.parent_ids: List[Tuple[int, ...]] = [
-            tuple(sorted({parent.equivalence.id for parent in node.parents}))
-            for node in nodes
+            tuple(sorted({op_owner[op_id] for op_id in parent_ops}))
+            for parent_ops in arena.eq_parent_ops
         ]
         #: Per node: ids of the parent *operation* nodes, in ``node.parents``
         #: order (Volcano-SH's special test scans a node's parent operations).
         self.parent_op_ids: List[Tuple[int, ...]] = [
-            tuple(parent.id for parent in node.parents) for node in nodes
+            tuple(parent_ops) for parent_ops in arena.eq_parent_ops
         ]
         #: Per node: whether the node was introduced by a subsumption
         #: derivation (these must pay for themselves, Section 3.2).
-        self.created_by_subsumption: List[bool] = [
-            node.created_by_subsumption for node in nodes
-        ]
+        self.created_by_subsumption: List[bool] = list(arena.eq_created_by_subsumption)
         # Lazily memoized ``compute_costs(∅)`` (see :meth:`baseline_costs`).
         self._baseline_costs: Optional[List[float]] = None
+        # Lazily materialized facade-object tables (see the properties below).
+        self._nodes: Optional[List[EquivalenceNode]] = None
+        self._op_nodes: Optional[List[Tuple[OperationNode, ...]]] = None
+        self._op_node_by_id: Optional[List[OperationNode]] = None
+
+    # -- facade-object tables (lazy) -------------------------------------------
+    @property
+    def nodes(self) -> List[EquivalenceNode]:
+        """id -> EquivalenceNode (ids are dense, so a list is the id map).
+
+        Materialized on first access: the cost kernels never touch node
+        objects, so engines that only ever compute costs skip the facade
+        views entirely.  Views are canonical (``nodes[i] is dag.node_by_id(i)``).
+        """
+        nodes = self._nodes
+        if nodes is None:
+            eq_view = self.arena.eq_view
+            nodes = [eq_view(node_id) for node_id in range(self.num_nodes)]
+            self._nodes = nodes
+        return nodes
+
+    @property
+    def op_nodes(self) -> List[Tuple[OperationNode, ...]]:
+        """Parallel to ``op_table``: the OperationNode views, for argmin results."""
+        op_nodes = self._op_nodes
+        if op_nodes is None:
+            op_view = self.arena.op_view
+            op_nodes = [
+                tuple(op_view(op_id) for op_id in op_ids)
+                for op_ids in self.arena.eq_op_ids
+            ]
+            self._op_nodes = op_nodes
+        return op_nodes
+
+    @property
+    def op_node_by_id(self) -> List[OperationNode]:
+        """Operation id -> OperationNode (for converting flat choices back)."""
+        op_node_by_id = self._op_node_by_id
+        if op_node_by_id is None:
+            op_view = self.arena.op_view
+            op_node_by_id = [
+                op_view(op_id) for op_id in range(self.arena.num_operations)
+            ]
+            self._op_node_by_id = op_node_by_id
+        return op_node_by_id
 
     # -- cost kernels ---------------------------------------------------------
     def compute_costs(self, materialized: Set[int] = EMPTY_SET) -> List[float]:
@@ -402,6 +414,36 @@ class CostEngine:
         if self._baseline_costs is None:
             self._baseline_costs = self.compute_costs()
         return self._baseline_costs
+
+    def reachable_flags(
+        self,
+        choice_entry: Sequence[Optional[Tuple[float, Tuple[Tuple[int, float], ...]]]],
+    ) -> bytearray:
+        """Byte flags of the nodes reachable from the root under *choice_entry*.
+
+        *choice_entry* maps node id to the flat operation entry a consolidated
+        plan chose for it (``None`` where the plan chose nothing); the walk
+        descends from the root through chosen entries only.  This is the
+        reachability snapshot the Volcano-SH/RU decision passes sweep over —
+        owning it here keeps every structural walk on the engine's dense
+        arrays.
+        """
+        reachable = bytearray(self.num_nodes)
+        is_base = self.is_base
+        stack = [self.root_id]
+        while stack:
+            node_id = stack.pop()
+            if reachable[node_id]:
+                continue
+            reachable[node_id] = 1
+            if is_base[node_id]:
+                continue
+            entry = choice_entry[node_id]
+            if entry is None:
+                continue
+            for child_id, _multiplier in entry[1]:
+                stack.append(child_id)
+        return reachable
 
     def total(self, costs: CostTable, materialized: Set[int] = EMPTY_SET) -> float:
         """``bestcost(Q, M)``: root cost plus computing and materializing ``M``."""
@@ -517,7 +559,6 @@ class IncrementalCostState:
     __slots__ = (
         "dag",
         "engine",
-        "nodes_by_id",
         "materialized",
         "_costs",
         "_effective",
@@ -540,8 +581,6 @@ class IncrementalCostState:
         #: bit-identical inputs — which is what incremental Volcano-RU needs
         #: to stay byte-identical to its from-scratch reference.
         self._eps = epsilon
-        #: id -> EquivalenceNode (ids are dense, so the engine's list serves).
-        self.nodes_by_id: Sequence[EquivalenceNode] = self.engine.nodes
         self.materialized: Set[int] = set()
         self._costs: List[float] = list(self.engine.baseline_costs())
         #: C(e): min(cost, reuse) for materialized nodes, cost otherwise.
@@ -557,6 +596,15 @@ class IncrementalCostState:
         self._pending = bytearray(num_nodes)
         #: Byte-flag mirror of ``materialized`` for the inner loop.
         self._mat_flags = bytearray(num_nodes)
+
+    @property
+    def nodes_by_id(self) -> Sequence[EquivalenceNode]:
+        """id -> EquivalenceNode (ids are dense, so the engine's list serves).
+
+        Delegates to :attr:`CostEngine.nodes`, which materializes the façade
+        views lazily — creating a state costs no node objects.
+        """
+        return self.engine.nodes
 
     def total(self) -> float:
         """``bestcost(Q, X)`` for the current materialized set."""

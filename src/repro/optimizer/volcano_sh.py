@@ -88,13 +88,19 @@ def _plan_costs(
     """Dense kernel behind :func:`plan_node_costs`: per-node cost through the
     chosen operation entry (argmin over ``op_specs`` where no entry exists).
 
-    When *reachable* flags are supplied (the Volcano-SH pass does), a
-    reachable non-base node without a chosen entry raises
+    When *reachable* flags are supplied (the Volcano-SH pass does), the sweep
+    is restricted to the plan's reachable cone: unreachable nodes are skipped
+    outright (their table slots stay ``0.0`` and the pass never reads them),
+    and a reachable non-base node without a chosen entry raises
     :class:`~repro.optimizer.plans.PlanError` instead of silently falling
-    back to the argmin: a consolidated plan must cover its reachable cone
-    (see :func:`_require_choice`).  The argmin fallback remains for
-    *unreachable* nodes — pricing the whole DAG is part of this function's
-    contract (subsumption children swapped into the plan still need a cost).
+    back to the argmin — a consolidated plan must cover its reachable cone
+    (see :func:`_require_choice`).  The restriction is exact: a reachable
+    node's chosen entry only references reachable children (the reachability
+    walk descends through chosen entries), so every ``effective`` slot the
+    cone sweep reads was written by it.  Without *reachable* flags the whole
+    DAG is priced, argmin fallback included — that full pricing remains the
+    contract of the public :func:`plan_node_costs` (subsumption children
+    swapped into the plan still need a cost).
     """
     reuse_cost = engine.reuse_cost
     is_base = engine.is_base
@@ -104,6 +110,8 @@ def _plan_costs(
     effective: List[float] = costs if not materialized else [0.0] * engine.num_nodes
     distinct = effective is not costs
     for node_id in engine.topo_order:
+        if reachable is not None and not reachable[node_id]:
+            continue
         if is_base[node_id]:
             cost = 0.0
         else:
@@ -163,29 +171,6 @@ def _require_choice(engine: CostEngine, node_id: int) -> NoReturn:
     )
 
 
-def _reachable_flags(
-    engine: CostEngine,
-    choice_entry: List[Optional[Tuple[float, Tuple[Tuple[int, float], ...]]]],
-) -> bytearray:
-    """Byte flags of the nodes reachable from the root under the choices."""
-    reachable = bytearray(engine.num_nodes)
-    is_base = engine.is_base
-    stack = [engine.root_id]
-    while stack:
-        node_id = stack.pop()
-        if reachable[node_id]:
-            continue
-        reachable[node_id] = 1
-        if is_base[node_id]:
-            continue
-        entry = choice_entry[node_id]
-        if entry is None:
-            continue
-        for child_id, _multiplier in entry[1]:
-            stack.append(child_id)
-    return reachable
-
-
 def volcano_sh_pass(
     dag: Dag, plan: ConsolidatedPlan
 ) -> Tuple[Set[int], Dict[int, OperationNode], float]:
@@ -223,7 +208,7 @@ def volcano_sh_pass(
         choice_op[node_id] = op_id
         choice_entry[node_id] = op_entries[op_id]
 
-    reachable = _reachable_flags(engine, choice_entry)
+    reachable = engine.reachable_flags(choice_entry)
     baseline_costs = _plan_costs(engine, choice_entry, set(), reachable)
 
     # Pre-pass: swap applicable subsumption derivations into the plan.  A swap
@@ -260,7 +245,7 @@ def volcano_sh_pass(
             choice_entry[node_id] = op_entries[alternative]
 
     if swapped:
-        reachable = _reachable_flags(engine, choice_entry)
+        reachable = engine.reachable_flags(choice_entry)
     # numuses⁻: references to each node within the reachable plan (use
     # multipliers of nested-query invocations count as genuine uses).
     numuses: List[int] = [0] * num_nodes
@@ -371,7 +356,7 @@ def volcano_sh_pass(
             undone = True
 
     if undone:
-        reachable = _reachable_flags(engine, choice_entry)
+        reachable = engine.reachable_flags(choice_entry)
     materialized = {node_id for node_id in materialized if reachable[node_id]}
     final_costs = _plan_costs(engine, choice_entry, materialized, reachable)
     total = final_costs[root_id]

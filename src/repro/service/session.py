@@ -625,31 +625,58 @@ class OptimizerSession:
         self.plan_misses = 0
 
     # -- multi-worker state sharing -------------------------------------------
-    def snapshot_state(self) -> bytes:
+    def snapshot_state(self, include_plans: bool = False) -> bytes:
         """Serialize the fragment cache (catalog included) for other workers.
 
         Content-addressed keys are what make the snapshot meaningful
         elsewhere: interned ids are dense ints whose meaning is pinned by the
         content values stored next to them, not by any ``id()`` of this
-        process.  The plan cache is deliberately *not* included — it holds
-        whole DAG object graphs; workers rebuild plans cheaply through the
-        warm fragments instead.  Restore with :meth:`from_snapshot`.
+        process.  By default the plan cache is *not* included — workers
+        rebuild plans cheaply through the warm fragments.  With
+        ``include_plans=True`` the cached plans travel too: a DAG now pickles
+        through its arena — a handful of flat id/float/flag columns (see
+        :meth:`repro.dag.arena.DagArena.__getstate__`) rather than a pointer
+        graph with one ``__reduce__`` record per node — which is what makes
+        whole-plan snapshots small enough to fan out.  Restore with
+        :meth:`from_snapshot` (both formats are recognized).
         """
         with self._lock:
-            return pickle.dumps(self.cache, protocol=pickle.HIGHEST_PROTOCOL)
+            if not include_plans:
+                return pickle.dumps(self.cache, protocol=pickle.HIGHEST_PROTOCOL)
+            return pickle.dumps(
+                ("session-state", self.cache, self._plans),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
 
     @classmethod
     def from_snapshot(cls, data: bytes, **options: Any) -> "OptimizerSession":
         """A new session primed with a pickled fragment cache.
 
-        The snapshot carries its own catalog and cost model (and cache
+        Accepts both snapshot formats: a bare :class:`SessionCache` (the
+        default :meth:`snapshot_state`) or the tagged
+        ``("session-state", cache, plans)`` tuple produced with
+        ``include_plans=True``, in which case the plan cache is restored as
+        well.  The snapshot carries its own catalog and cost model (and cache
         limits), so the restored session is self-contained; *options* are
         forwarded to the constructor (``cache_plans``, ``max_plans``,
         ``enable_subsumption``, ``enable_mqo``).  A snapshot transports
         *content*, not accounting: hit/miss/eviction counters restart at
         zero so every worker reports its own traffic, not its donor's.
         """
-        cache = pickle.loads(data)
+        state = pickle.loads(data)
+        plans: Optional[BoundedCache] = None
+        if (
+            isinstance(state, tuple)
+            and len(state) == 3
+            and state[0] == "session-state"
+        ):
+            cache, plans = state[1], state[2]
+            if not isinstance(plans, BoundedCache):
+                raise TypeError(
+                    f"snapshot plan cache is not a BoundedCache: {type(plans)!r}"
+                )
+        else:
+            cache = state
         if not isinstance(cache, SessionCache):
             raise TypeError(f"snapshot does not contain a SessionCache: {type(cache)!r}")
         cache.stats = SessionCacheStats()
@@ -658,6 +685,8 @@ class OptimizerSession:
         session = cls(cache.catalog, cost_model=cache.cost_model, **options)
         session.cache = cache
         session._cache_generation = cache.generation
+        if plans is not None:
+            session._plans = plans
         return session
 
     # -- plan cache ------------------------------------------------------------

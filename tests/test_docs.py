@@ -1,9 +1,10 @@
 """Docs freshness: the documentation's code examples must actually run.
 
-Every fenced ``python`` block in ``README.md`` and ``docs/DETERMINISM.md``
-is executed in its own namespace (asserts included), so the documented API —
-the quick-start, the ``OptimizerSession`` warm-rebuild example, the linter
-example — can never drift from the code.  The blocks are intentionally small
+Every fenced ``python`` block in ``README.md``, ``docs/DETERMINISM.md``,
+and ``docs/ARCHITECTURE.md`` is executed in its own namespace (asserts
+included), so the documented API — the quick-start, the
+``OptimizerSession`` warm-rebuild example, the linter example, the arena
+walkthrough — can never drift from the code.  The blocks are intentionally small
 and statistics-only (no data generation), keeping this suite a few hundred
 milliseconds.  The multi-worker service example (snapshot fan-out, bounded
 caches, background warming — the deployment story of PR 7) runs as a real
@@ -24,6 +25,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DOCS = {
     "README.md": os.path.join(REPO_ROOT, "README.md"),
     "DETERMINISM.md": os.path.join(REPO_ROOT, "docs", "DETERMINISM.md"),
+    "ARCHITECTURE.md": os.path.join(REPO_ROOT, "docs", "ARCHITECTURE.md"),
 }
 
 _BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -45,6 +47,10 @@ def test_readme_has_python_examples():
 
 def test_determinism_doc_has_python_example():
     assert len(_python_blocks("DETERMINISM.md")) >= 1, "DETERMINISM.md lost its executable example"
+
+
+def test_architecture_doc_has_python_example():
+    assert len(_python_blocks("ARCHITECTURE.md")) >= 1, "ARCHITECTURE.md lost its executable example"
 
 
 @pytest.mark.parametrize("doc, index, block", _all_blocks())
