@@ -242,7 +242,9 @@ def _service_batch_queries(spec: tuple) -> List[Query]:
 
 
 def _service_worker(worker_id: int, snapshot: bytes, specs: List[tuple],
-                    results: "object") -> None:
+                    results: "object", heartbeats: "object" = None,
+                    chaos_seed: Optional[int] = None,
+                    kill_after: Optional[int] = None) -> None:
     """One service worker: restore the snapshot, serve batches, report stats.
 
     The snapshot bytes are deliberately round-tripped through
@@ -251,26 +253,49 @@ def _service_worker(worker_id: int, snapshot: bytes, specs: List[tuple],
     content-addressed form is the point.  The first batch is also checked for
     exact cost agreement against a fresh one-shot optimizer, so the
     throughput numbers cannot come from a silently wrong cache.
+
+    *heartbeats* is a shared ``multiprocessing.Array``; the worker bumps its
+    slot once per served batch so the parent can report how far a crashed
+    worker got.  With *chaos_seed* a seeded
+    :class:`~repro.service.faults.FaultInjector` drops/corrupts fragment
+    cache entries throughout the run and the **last** batch is verified
+    against a one-shot optimizer too — faults must degrade hit rate, never
+    correctness.  *kill_after* makes the worker SIGKILL itself after serving
+    that many batches (the crash path under test in ``tests/test_chaos.py``).
     """
     from repro.service.session import OptimizerSession
 
     session = OptimizerSession.from_snapshot(
         snapshot, cache_plans=True, max_plans=SERVICE_MAX_PLANS
     )
+    injector = None
+    if chaos_seed is not None:
+        from repro.service.faults import FaultInjector
+
+        injector = FaultInjector(seed=chaos_seed + worker_id, rate=0.05).attach(session)
     latencies: List[float] = []
     verified = False
-    for spec in specs:
+    served = 0
+    for index, spec in enumerate(specs):
         queries = _service_batch_queries(spec)
         start = time.perf_counter()
         result = session.optimize(queries, "greedy")
         latencies.append(time.perf_counter() - start)
-        if not verified:
+        served += 1
+        if heartbeats is not None:
+            heartbeats[worker_id] = served
+        verify = not verified or (injector is not None and index == len(specs) - 1)
+        if verify:
             reference = MQOptimizer(session.catalog).optimize(queries, "greedy")
             assert result.cost == reference.cost, (
                 f"worker {worker_id}: warm cost {result.cost!r} != "
                 f"one-shot cost {reference.cost!r}"
             )
             verified = True
+        if kill_after is not None and served >= kill_after:
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
     stats = session.cache_stats()
     results.put({
         "worker": worker_id,
@@ -279,6 +304,9 @@ def _service_worker(worker_id: int, snapshot: bytes, specs: List[tuple],
         "misses": stats.misses,
         "lru_evictions": stats.lru_evictions,
         "interner_resets": stats.interner_resets,
+        "quarantined": stats.quarantined,
+        "recipe_quarantines": stats.recipe_quarantines,
+        "injected_faults": injector.injected_faults if injector is not None else 0,
         "plan_hits": session.plan_hits,
         "plan_misses": session.plan_misses,
         "family_sizes": session.cache.family_sizes(),
@@ -287,7 +315,9 @@ def _service_worker(worker_id: int, snapshot: bytes, specs: List[tuple],
 
 
 def measure_service_throughput(
-    workers: int = 2, batches: int = 1000, scale: int = 1
+    workers: int = 2, batches: int = 1000, scale: int = 1,
+    chaos_seed: Optional[int] = None, kill_after: Optional[int] = None,
+    worker_timeout_s: float = 120.0,
 ) -> Dict[str, object]:
     """Serve *batches* overlapping batches from *workers* processes sharing
     one warm, bounded fragment-cache snapshot; return throughput metrics.
@@ -302,10 +332,23 @@ def measure_service_throughput(
     counts, and asserts that no cache family ever exceeds its configured
     bound.  On a single-core container the workers time-share — qps measures
     the *service configuration*, not parallel speedup.
+
+    Worker death is a **typed failure, not a hang**: results are collected
+    with a timeout and a liveness poll against per-worker heartbeat slots, so
+    a worker that dies mid-run (OOM kill, segfault, the chaos suite's
+    deliberate SIGKILL) surfaces as :class:`ServiceWorkerError` carrying the
+    dead workers' exit codes, last heartbeats, and the surviving workers'
+    partial metrics.  *kill_after* arms worker 0 (only) to SIGKILL itself
+    after serving that many batches — the crash-drill knob.  With *chaos_seed* the run doubles as a fault drill:
+    each worker serves under a seeded :class:`FaultInjector`, and the parent
+    first proves a corrupted snapshot is *rejected* (``SnapshotError`` →
+    ``from_snapshot_or_cold`` fallback) rather than restored wrong.
     """
     import multiprocessing
+    import queue as queue_module
 
     from repro.catalog import psp_catalog
+    from repro.service.resilience import ServiceWorkerError
     from repro.service.session import OptimizerSession, SessionCacheLimits
     from repro.workloads.scaleup import scaleup_queries
 
@@ -314,26 +357,108 @@ def measure_service_throughput(
     parent.build_dag(scaleup_queries(5))  # warm the shared fragment snapshot
     snapshot = parent.snapshot_state()
 
+    if chaos_seed is not None:
+        # Snapshot-integrity drill: damaged bytes must never restore wrong —
+        # the sealed header rejects them and the service falls back cold.
+        from repro.service.faults import FaultInjector
+
+        damaged = FaultInjector(seed=chaos_seed).corrupt_snapshot(snapshot)
+        recovered = OptimizerSession.from_snapshot_or_cold(damaged, parent.catalog)
+        assert recovered.restore_error is not None, (
+            "corrupted snapshot was restored without a SnapshotError"
+        )
+
     specs = _service_batch_specs(batches)
     context = multiprocessing.get_context("fork")
     results_queue = context.Queue()
+    heartbeats = context.Array("i", workers, lock=False)
     processes = [
         context.Process(
             target=_service_worker,
-            args=(worker_id, snapshot, specs[worker_id::workers], results_queue),
+            args=(worker_id, snapshot, specs[worker_id::workers], results_queue,
+                  heartbeats, chaos_seed,
+                  kill_after if worker_id == 0 else None),
         )
         for worker_id in range(workers)
     ]
     wall_start = time.perf_counter()
     for process in processes:
         process.start()
-    reports = [results_queue.get() for _ in processes]
+
+    # Timeout-based collection with a liveness poll: never block forever on a
+    # queue a dead worker will not feed.  After spotting a dead process the
+    # queue is drained non-blocking first — its report may have raced in.
+    reports: List[Dict[str, object]] = []
+    reported: set = set()
+    failures: List[Dict[str, object]] = []
+    failed: set = set()
+    collect_deadline = time.perf_counter() + worker_timeout_s
+    while len(reported) + len(failed) < workers:
+        try:
+            report = results_queue.get(timeout=0.5)
+            reports.append(report)
+            reported.add(report["worker"])
+            continue
+        except queue_module.Empty:
+            pass
+        for worker_id, process in enumerate(processes):
+            if worker_id in reported or worker_id in failed:
+                continue
+            if process.is_alive():
+                continue
+            while True:
+                try:
+                    report = results_queue.get_nowait()
+                except queue_module.Empty:
+                    break
+                reports.append(report)
+                reported.add(report["worker"])
+            if worker_id in reported:
+                continue
+            process.join()
+            failures.append({
+                "worker": worker_id,
+                "exitcode": process.exitcode,
+                "heartbeat": heartbeats[worker_id],
+            })
+            failed.add(worker_id)
+        if time.perf_counter() >= collect_deadline:
+            for worker_id, process in enumerate(processes):
+                if worker_id not in reported and worker_id not in failed:
+                    process.terminate()
+                    process.join()
+                    failures.append({
+                        "worker": worker_id,
+                        "exitcode": process.exitcode,
+                        "heartbeat": heartbeats[worker_id],
+                    })
+                    failed.add(worker_id)
     for process in processes:
         process.join()
     wall = time.perf_counter() - wall_start
-    for process in processes:
-        if process.exitcode != 0:
-            raise RuntimeError(f"service worker failed (exit {process.exitcode})")
+    for worker_id, process in enumerate(processes):
+        if worker_id not in failed and process.exitcode != 0:
+            failures.append({
+                "worker": worker_id,
+                "exitcode": process.exitcode,
+                "heartbeat": heartbeats[worker_id],
+            })
+            failed.add(worker_id)
+    if failures:
+        partial = {
+            "reports": len(reports),
+            "batches_served": sum(len(r["latencies"]) for r in reports)
+            + sum(f["heartbeat"] for f in failures),
+        }
+        dead = ", ".join(
+            f"worker {f['worker']} (exit {f['exitcode']}, "
+            f"{f['heartbeat']} batches served)" for f in failures
+        )
+        raise ServiceWorkerError(
+            f"{len(failures)}/{workers} service workers died: {dead}",
+            failures=failures,
+            partial=partial,
+        )
 
     latencies = sorted(lat for report in reports for lat in report["latencies"])
     assert len(latencies) == batches
@@ -372,6 +497,11 @@ def measure_service_throughput(
         "plan_misses": sum(report["plan_misses"] for report in reports),
         "family_sizes_max": sizes_max,
         "family_caps": caps,
+        "chaos": chaos_seed is not None,
+        "injected_faults": sum(report["injected_faults"] for report in reports),
+        "quarantined": sum(report["quarantined"] for report in reports),
+        "recipe_quarantines": sum(report["recipe_quarantines"] for report in reports),
+        "worker_failures": [],
     }
 
 
@@ -390,6 +520,11 @@ def print_service_table(metrics: Dict[str, object]) -> None:
           f"(interner resets: {metrics['interner_resets']})")
     print(f"plan cache:         {metrics['plan_hits']} hits / "
           f"{metrics['plan_misses']} misses (bound {SERVICE_MAX_PLANS})")
+    if metrics.get("chaos"):
+        print(f"chaos:              {metrics['injected_faults']} faults injected, "
+              f"{metrics['quarantined']} entries quarantined, "
+              f"{metrics['recipe_quarantines']} recipes quarantined "
+              f"(plans verified byte-identical)")
     sizes = metrics["family_sizes_max"]
     caps = metrics["family_caps"]
     over = ", ".join(
@@ -723,6 +858,13 @@ def _main(argv: List[str]) -> int:
     parser.add_argument("--service-batches", type=int, default=1000, metavar="N",
                         help="total batches served by --service (default: 1000; "
                              "CI smoke uses 40)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="with --service: run the fault drill — seeded "
+                             "FaultInjector in every worker, corrupted-"
+                             "snapshot rejection check, first+last batch "
+                             "verified against a one-shot optimizer")
+    parser.add_argument("--chaos-seed", type=int, default=1337, metavar="SEED",
+                        help="fault-schedule seed for --chaos (default: 1337)")
     parser.add_argument("--perf-gate", action="store_true",
                         help="fail if fig9 greedy, Volcano-RU, or DAG build "
                              "times regress beyond the tolerance band vs. the "
@@ -754,9 +896,12 @@ def _main(argv: List[str]) -> int:
             with open(args.json, "w") as handle:
                 json.dump(payload, handle, indent=1, sort_keys=True)
             print(f"warm-rebuild results written to {args.json}")
+    if args.chaos and not args.service:
+        parser.error("--chaos only makes sense with --service")
     if args.service:
         metrics = measure_service_throughput(
-            workers=args.service_workers, batches=args.service_batches
+            workers=args.service_workers, batches=args.service_batches,
+            chaos_seed=args.chaos_seed if args.chaos else None,
         )
         print_service_table(metrics)
         if args.json:

@@ -1172,11 +1172,20 @@ class DagBuilder:
             nodes_by_mask[mask] = node_id
             record: Optional[List[RecipeEntry]] = None
             if session is not None and canonical:
-                recipe = session.join_recipes.get((kid, self._node_pid[node_id]))
-                if recipe is not None and self._replay_recipe(node_id, recipe[0]):
-                    session.stats.hits += 1
-                    expanded.add(node_id)
-                    continue
+                recipe_key = (kid, self._node_pid[node_id])
+                recipe = session.join_recipes.get(recipe_key)
+                if recipe is not None:
+                    if self._replay_recipe(node_id, recipe[0]):
+                        session.stats.hits += 1
+                        expanded.add(node_id)
+                        continue
+                    # Quarantine-and-rebuild: a recipe that fails validation
+                    # (stale after a targeted invalidation, or structurally
+                    # damaged by a fault) is dropped so it cannot fail again;
+                    # the live enumeration below rebuilds the canonical set.
+                    if dict.__contains__(session.join_recipes, recipe_key):
+                        dict.__delitem__(session.join_recipes, recipe_key)
+                    session.stats.recipe_quarantines += 1
                 if fresh:
                     # Record only on fresh nodes: their per-build join-op memo
                     # is necessarily empty, so every partition below really
@@ -1201,19 +1210,27 @@ class DagBuilder:
         this build and carry the *same properties object* as at record time
         (otherwise a live enumeration would not reproduce the recorded costs
         bit-for-bit — e.g. right after a targeted invalidation recomputed a
-        leaf).  Returns ``False`` without side effects when validation fails.
+        leaf).  Returns ``False`` without side effects when validation fails —
+        including on *structurally* malformed entries (wrong shape or types),
+        which a damaged cache value can produce; the caller quarantines the
+        recipe and rebuilds from the live enumeration.
         """
         kid_node = self._kid_node
         node_pid = self._node_pid
         resolved = []
-        for lkid, lpid, rkid, rpid, operator, total in entries:
-            left = kid_node.get(lkid)
-            right = kid_node.get(rkid)
-            if left is None or right is None:
-                return False
-            if node_pid[left] != lpid or node_pid[right] != rpid:
-                return False
-            resolved.append((left, right, operator, total))
+        try:
+            for lkid, lpid, rkid, rpid, operator, total in entries:
+                if not isinstance(operator, JoinOp) or not isinstance(total, float):
+                    return False
+                left = kid_node.get(lkid)
+                right = kid_node.get(rkid)
+                if left is None or right is None:
+                    return False
+                if node_pid[left] != lpid or node_pid[right] != rpid:
+                    return False
+                resolved.append((left, right, operator, total))
+        except (TypeError, ValueError):
+            return False
         memo = self._join_op_memo
         append_operation = self.dag.arena.append_operation
         for left, right, operator, total in resolved:

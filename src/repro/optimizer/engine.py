@@ -88,6 +88,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from time import perf_counter
 from typing import (
     Any,
     Dict,
@@ -783,6 +784,7 @@ class IncrementalCostState:
         heap: List[Tuple[float, int]],
         counters: Dict[str, int],
         max_materializations: int,
+        deadline: Optional[float] = None,
     ) -> Set[int]:
         """The greedy monotonicity-heap loop (Section 4.3), fused.
 
@@ -801,6 +803,12 @@ class IncrementalCostState:
         :meth:`toggle_id` (kept in sync by the engine-vs-reference and
         differential test suites); decisions, results, and the Figure 10
         counters are bit-for-bit those of the unfused loop.
+
+        *deadline* (absolute ``perf_counter`` seconds) is checked once per
+        heap pop — i.e. at probe boundaries, never inside a propagation — so
+        an expired run stops with a committed prefix of the materialization
+        sequence (``counters["deadline_expired"] = 1``) that is byte-identical
+        to a run capped at that count.  ``deadline=None`` reads no clock.
         """
         engine = self.engine
         costs = self._costs
@@ -823,6 +831,9 @@ class IncrementalCostState:
         total_propagations = 0
         undo: List[Tuple[int, float]] = []
         while heap and len(chosen) < max_materializations:
+            if deadline is not None and perf_counter() >= deadline:
+                counters["deadline_expired"] = 1
+                break
             _negative_bound, node_id = heappop(heap)
             if node_id in chosen:
                 continue

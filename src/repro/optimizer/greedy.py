@@ -109,8 +109,24 @@ def _candidate_nodes(
     return candidates, None
 
 
-def optimize_greedy(dag: Dag, options: Optional[GreedyOptions] = None) -> OptimizationResult:
-    """Run the greedy heuristic on the DAG."""
+def optimize_greedy(
+    dag: Dag,
+    options: Optional[GreedyOptions] = None,
+    deadline: Optional[float] = None,
+) -> OptimizationResult:
+    """Run the greedy heuristic on the DAG.
+
+    *deadline* is an absolute ``time.perf_counter()`` value; when given, the
+    greedy loops check it at materialization-decision boundaries and stop
+    early with the best-so-far materialized set (the anytime property of the
+    heuristic: every prefix of the materialization sequence is a valid,
+    monotonically improving plan).  An interrupted run sets
+    ``counters["deadline_expired"] = 1`` and is byte-identical to a completed
+    run with ``max_materializations`` capped at the count reached — probes
+    after the last commit never mutate state.  With ``deadline=None`` (the
+    default) no clock is read inside the loops and behavior is bit-identical
+    to pre-deadline code.
+    """
     options = options or GreedyOptions()
     start = time.perf_counter()
     counters = {
@@ -129,10 +145,12 @@ def optimize_greedy(dag: Dag, options: Optional[GreedyOptions] = None) -> Optimi
     if candidates:
         if options.use_monotonicity:
             materialized = _greedy_monotonic(
-                dag, state, candidates, baseline_costs, degrees, options, counters
+                dag, state, candidates, baseline_costs, degrees, options, counters, deadline
             )
         else:
-            materialized = _greedy_full_recompute(dag, state, candidates, options, counters)
+            materialized = _greedy_full_recompute(
+                dag, state, candidates, options, counters, deadline
+            )
 
     counters["cost_propagations"] = state.propagations
 
@@ -179,6 +197,7 @@ def _greedy_monotonic(
     degrees: Optional[Dict[int, float]],
     options: GreedyOptions,
     counters: Dict[str, int],
+    deadline: Optional[float] = None,
 ) -> Set[int]:
     """Greedy loop with the benefit upper-bound heap (monotonicity heuristic)."""
     if degrees is None:
@@ -201,11 +220,16 @@ def _greedy_monotonic(
         # The fused probe-chain loop on the dense state (see
         # IncrementalCostState.run_monotonic_heap): bit-identical decisions
         # and counters, one call frame for the whole loop.
-        return state.run_monotonic_heap(heap, counters, options.max_materializations)
+        return state.run_monotonic_heap(
+            heap, counters, options.max_materializations, deadline
+        )
 
     materialized: Set[int] = set()
     current_total = state.total()
     while heap and len(materialized) < options.max_materializations:
+        if deadline is not None and time.perf_counter() >= deadline:
+            counters["deadline_expired"] = 1
+            break
         negative_bound, node_id = heapq.heappop(heap)
         if node_id in materialized:
             continue
@@ -229,6 +253,7 @@ def _greedy_full_recompute(
     candidates: Sequence[EquivalenceNode],
     options: GreedyOptions,
     counters: Dict[str, int],
+    deadline: Optional[float] = None,
 ) -> Set[int]:
     """Greedy loop without the monotonicity heuristic: every remaining
     candidate's benefit is recomputed in every iteration (Figure 4, literally).
@@ -244,6 +269,9 @@ def _greedy_full_recompute(
     remaining: List[int] = [node.id for node in candidates]
     current_total = state.total()
     while remaining and len(materialized) < options.max_materializations:
+        if deadline is not None and time.perf_counter() >= deadline:
+            counters["deadline_expired"] = 1
+            break
         best_node_id = None
         best_benefit = 0.0
         if options.use_incremental:

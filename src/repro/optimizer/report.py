@@ -10,10 +10,78 @@ paper's tables and figures directly from :class:`OptimizationResult` objects.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.optimizer.plans import ConsolidatedPlan
+
+
+class BudgetExceeded(Exception):
+    """Raised by a cooperative deadline check inside an optimization loop.
+
+    Only Volcano-RU raises it (its per-query passes have no usable partial
+    state); greedy instead keeps its best-so-far materialized set and returns
+    an anytime result.  The exception never escapes the public API — the
+    degradation ladder in :mod:`repro.service.resilience` catches it and
+    falls back to a cheaper algorithm.
+    """
+
+
+class DegradationLevel(enum.IntEnum):
+    """How far down the degradation ladder a budgeted optimize call fell.
+
+    Ordered best-to-worst; comparisons (``level > FULL``) are meaningful.
+    """
+
+    #: The requested algorithm ran to completion within the budget.
+    FULL = 0
+    #: Greedy was interrupted mid-search; the result is the best-so-far
+    #: materialized set (byte-identical to a greedy run capped at the number
+    #: of materializations reached).
+    ANYTIME_GREEDY = 1
+    #: Fell back to the Volcano-SH one-pass heuristic.
+    VOLCANO_SH = 2
+    #: Fell back to no-sharing per-query Volcano plans (the unconditional
+    #: final rung: always affordable, always valid).
+    NO_SHARING = 3
+
+    @property
+    def label(self) -> str:
+        return _LEVEL_LABELS[self]
+
+
+_LEVEL_LABELS: Dict["DegradationLevel", str] = {
+    DegradationLevel.FULL: "full",
+    DegradationLevel.ANYTIME_GREEDY: "anytime-greedy",
+    DegradationLevel.VOLCANO_SH: "volcano-sh",
+    DegradationLevel.NO_SHARING: "no-sharing",
+}
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """What a deadline-budgeted optimize call actually delivered.
+
+    Attached to :attr:`OptimizationResult.degradation` by the degradation
+    ladder (:func:`repro.service.resilience.run_ladder`); ``None`` on
+    unbudgeted calls, whose behavior is bit-identical to pre-budget code.
+    """
+
+    level: DegradationLevel
+    #: Algorithm the caller asked for (``Algorithm.value`` string).
+    requested: str
+    #: Algorithm that actually produced the plan.
+    served: str
+    budget_ms: float
+    grace_ms: float
+    elapsed_ms: float
+    #: Whether the deadline had expired by the time the result was ready.
+    expired: bool
+
+    @property
+    def degraded(self) -> bool:
+        return self.level is not DegradationLevel.FULL
 
 
 @dataclass
@@ -31,6 +99,8 @@ class OptimizationResult:
     sharable_nodes: int = 0
     #: Counters (cost propagations, benefit recomputations, bestcost calls...).
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Filled by deadline-budgeted calls only (see :class:`DegradationReport`).
+    degradation: Optional[DegradationReport] = None
 
     @property
     def materialized_count(self) -> int:

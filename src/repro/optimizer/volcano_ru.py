@@ -56,15 +56,23 @@ from repro.dag.nodes import Dag, OperationNode
 from repro.optimizer.costing import best_operations, compute_node_costs
 from repro.optimizer.engine import INFINITE_COST, IncrementalCostState, get_engine
 from repro.optimizer.plans import ConsolidatedPlan
-from repro.optimizer.report import OptimizationResult
+from repro.optimizer.report import BudgetExceeded, OptimizationResult
 from repro.optimizer.volcano_sh import _volcano_sh_reference, volcano_sh_pass
 
 
 def _run_order(
-    dag: Dag, order: Sequence[int]
+    dag: Dag, order: Sequence[int], deadline: Optional[float] = None
 ) -> Tuple[float, Set[int], Dict[int, OperationNode]]:
     """Run one pass of Volcano-RU over the queries in the given order,
-    maintaining the per-query cost table incrementally."""
+    maintaining the per-query cost table incrementally.
+
+    *deadline* (absolute ``perf_counter`` seconds) is checked once per query
+    — the pass's natural iteration boundary.  On expiry the pass raises
+    :class:`~repro.optimizer.report.BudgetExceeded`: unlike greedy there is
+    no best-so-far plan to salvage (reuse candidates registered for a prefix
+    of the queries are not a valid combined plan), so the degradation ladder
+    discards the pass and falls back.  ``deadline=None`` reads no clock.
+    """
     engine = get_engine(dag)
     # epsilon=0.0: every nonzero delta propagates, so the state's cost table
     # stays *bit-identical* to ``compute_node_costs(dag, N)`` after each
@@ -85,6 +93,8 @@ def _run_order(
     combined_choices: Dict[int, OperationNode] = {}
 
     for index in order:
+        if deadline is not None and time.perf_counter() >= deadline:
+            raise BudgetExceeded
         root = dag.query_roots[index]
         # Walk the query's best plan top-down, choosing the argmin operation
         # per node on the fly from the incrementally maintained cost table
@@ -183,8 +193,16 @@ def _run_order_reference(
     return total, materialized, choices
 
 
-def optimize_volcano_ru(dag: Dag, try_reverse: bool = True) -> OptimizationResult:
-    """Run Volcano-RU on the DAG (forward and reverse query order)."""
+def optimize_volcano_ru(
+    dag: Dag, try_reverse: bool = True, deadline: Optional[float] = None
+) -> OptimizationResult:
+    """Run Volcano-RU on the DAG (forward and reverse query order).
+
+    With a *deadline*, expiry anywhere — mid-pass or between the two order
+    passes — raises :class:`~repro.optimizer.report.BudgetExceeded` (a
+    partially explored order set would silently change which plan wins, so a
+    budgeted RU is all-or-nothing; the degradation ladder catches it).
+    """
     start = time.perf_counter()
     forward = list(range(len(dag.query_roots)))
     orders = [forward]
@@ -193,7 +211,9 @@ def optimize_volcano_ru(dag: Dag, try_reverse: bool = True) -> OptimizationResul
 
     best: Optional[Tuple[float, Set[int], Dict[int, OperationNode]]] = None
     for order in orders:
-        outcome = _run_order(dag, order)
+        if deadline is not None and time.perf_counter() >= deadline:
+            raise BudgetExceeded
+        outcome = _run_order(dag, order, deadline)
         if best is None or outcome[0] < best[0]:
             best = outcome
     total, materialized, choices = best

@@ -21,8 +21,33 @@ Since PR 7 every cache key is *content-addressed* (canonical equivalence keys
 plus per-relation statistics digests, never ``id()``), so a warm
 ``SessionCache`` can be pickled with :meth:`OptimizerSession.snapshot_state`
 and fanned out to worker processes via :meth:`OptimizerSession.from_snapshot`.
+
+Since PR 9 the layer is *resilient* (see ``docs/RESILIENCE.md``):
+
+* :class:`repro.service.resilience.OptimizeBudget` — deadline-budgeted
+  anytime optimization with a documented degradation ladder
+  (:class:`~repro.optimizer.report.DegradationLevel`); every budgeted result
+  carries a :class:`~repro.optimizer.report.DegradationReport`;
+* :class:`repro.service.faults.FaultInjector` — deterministic seeded chaos
+  harness over the cache families and snapshot bytes; under any injected
+  fault, served plans stay byte-identical to the cold path;
+* sealed snapshots — :meth:`OptimizerSession.snapshot_state` payloads carry a
+  versioned header plus sha256 checksum, rejected with
+  :class:`~repro.service.resilience.SnapshotError` when damaged
+  (:meth:`OptimizerSession.from_snapshot_or_cold` falls back to a cold
+  session instead of raising).
 """
 
+from repro.service.faults import FaultInjector
+from repro.service.resilience import (
+    BudgetExceeded,
+    CorruptedEntry,
+    DegradationLevel,
+    DegradationReport,
+    OptimizeBudget,
+    ServiceWorkerError,
+    SnapshotError,
+)
 from repro.service.session import (
     BoundedCache,
     CacheWarmer,
@@ -34,9 +59,17 @@ from repro.service.session import (
 
 __all__ = [
     "BoundedCache",
+    "BudgetExceeded",
     "CacheWarmer",
+    "CorruptedEntry",
+    "DegradationLevel",
+    "DegradationReport",
+    "FaultInjector",
+    "OptimizeBudget",
     "OptimizerSession",
+    "ServiceWorkerError",
     "SessionCache",
     "SessionCacheLimits",
     "SessionCacheStats",
+    "SnapshotError",
 ]

@@ -93,8 +93,21 @@ from __future__ import annotations
 import pickle
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.algebra.predicates import Predicate
 from repro.api import Algorithm, MQOptimizer, PAPER_ALGORITHMS
@@ -104,50 +117,83 @@ from repro.cost.model import CostModel, DEFAULT_COST_MODEL
 from repro.dag.builder import DagBuilder, Query, RecipeEntry
 from repro.dag.nodes import Dag, JoinOp, ScanOp
 from repro.optimizer import GreedyOptions, OptimizationResult
+from repro.optimizer.report import DegradationLevel
+from repro.service.resilience import (
+    CorruptedEntry,
+    OptimizeBudget,
+    SnapshotError,
+    open_snapshot,
+    run_ladder,
+    seal_snapshot,
+)
 
 _MISSING: Any = object()
 
 
 def _restore_bounded(
-    maxsize: Optional[int], evictions: int, items: List[Tuple[Any, Any]]
+    maxsize: Optional[int],
+    evictions: int,
+    quarantined: int,
+    items: List[Tuple[Any, Any]],
 ) -> "BoundedCache":
     """Unpickle helper for :class:`BoundedCache` (module-level for pickle)."""
     cache = BoundedCache(maxsize)
     for key, value in items:
         dict.__setitem__(cache, key, value)
     cache.evictions = evictions
+    cache.quarantined = quarantined
     return cache
 
 
 class BoundedCache(Dict[Any, Any]):
     """A dict with an optional LRU bound, used for every cache family.
 
-    With ``maxsize=None`` (the default) this is a plain dict with zero
+    With ``maxsize=None`` (the default) this is a plain dict with near-zero
     overhead on the hot paths.  With a bound, :meth:`get`/:meth:`setdefault`
     refresh recency (delete + reinsert, exploiting dict insertion order) and
     :meth:`__setitem__` evicts the least-recently-used entry once full,
     counting evictions in :attr:`evictions`.  Eviction order is pure
     insertion/access order — no hash-order dependence — and pickling
-    preserves entries, order, bound, and the eviction counter.
+    preserves entries, order, bound, and the fault counters.
+
+    **Fault containment** (PR 9): a stored
+    :class:`~repro.service.resilience.CorruptedEntry` poison wrapper is
+    treated by :meth:`get` as a miss — the entry is evicted on sight
+    (counted in :attr:`quarantined`) and the caller recomputes, which by
+    content addressing is byte-identical to a cold miss.  A chaos harness
+    (or an operator reproducing an incident) can set :attr:`fault_hook`, a
+    callable invoked with ``(cache, key)`` before every lookup; hooks are
+    deliberately not pickled — a snapshot never transports an injector.
     """
 
     def __init__(self, maxsize: Optional[int] = None) -> None:
         super().__init__()
         self.maxsize = maxsize
         self.evictions = 0
+        #: Poisoned entries evicted on read (see class docstring).
+        self.quarantined = 0
+        #: Chaos hook: called as ``fault_hook(cache, key)`` before lookups.
+        self.fault_hook: Optional[Callable[["BoundedCache", Any], None]] = None
 
     def get(self, key: Any, default: Any = None) -> Any:
+        hook = self.fault_hook
+        if hook is not None:
+            hook(self, key)
         if self.maxsize is None:
-            return dict.get(self, key, default)
-        value = dict.pop(self, key, _MISSING)
+            value = dict.get(self, key, _MISSING)
+        else:
+            value = dict.pop(self, key, _MISSING)
+            if value is not _MISSING:
+                dict.__setitem__(self, key, value)
         if value is _MISSING:
             return default
-        dict.__setitem__(self, key, value)
+        if value.__class__ is CorruptedEntry:
+            dict.__delitem__(self, key)
+            self.quarantined += 1
+            return default
         return value
 
     def setdefault(self, key: Any, default: Any = None) -> Any:
-        if self.maxsize is None:
-            return dict.setdefault(self, key, default)
         value = self.get(key, _MISSING)
         if value is _MISSING:
             self[key] = default
@@ -162,7 +208,10 @@ class BoundedCache(Dict[Any, Any]):
         dict.__setitem__(self, key, value)
 
     def __reduce__(self) -> Tuple[Any, ...]:
-        return (_restore_bounded, (self.maxsize, self.evictions, list(self.items())))
+        return (
+            _restore_bounded,
+            (self.maxsize, self.evictions, self.quarantined, list(self.items())),
+        )
 
 
 @dataclass(frozen=True)
@@ -215,9 +264,12 @@ class SessionCacheStats:
 
     ``evicted_entries`` counts *invalidation* evictions (catalog changes and
     manual ``invalidate`` calls); ``lru_evictions`` counts capacity evictions
-    from bounded families.  ``entries`` and ``lru_evictions`` are filled by
-    :meth:`SessionCache.snapshot` (they are derived from the cache tables,
-    not maintained incrementally).
+    from bounded families.  ``entries``, ``lru_evictions``, and
+    ``quarantined`` are filled by :meth:`SessionCache.snapshot` (they are
+    derived from the cache tables, not maintained incrementally);
+    ``recipe_quarantines`` counts join recipes the builder evicted after a
+    failed replay validation (self-healing: the recipe is re-recorded from
+    the live enumeration).
     """
 
     hits: int = 0
@@ -229,6 +281,8 @@ class SessionCacheStats:
     evicted_entries: int = 0
     lru_evictions: int = 0
     interner_resets: int = 0
+    quarantined: int = 0
+    recipe_quarantines: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -479,6 +533,10 @@ class SessionCache:
         """Total capacity evictions across every bounded family."""
         return sum(cache.evictions for cache in self._families().values())
 
+    def quarantined_count(self) -> int:
+        """Total poisoned entries evicted on read, across every family."""
+        return sum(cache.quarantined for cache in self._families().values())
+
     def _families(self) -> Dict[str, BoundedCache]:
         return {
             "base_props": self.base_props,
@@ -498,6 +556,7 @@ class SessionCache:
         stats = SessionCacheStats(**vars(self.stats))
         stats.entries = self.entry_count()
         stats.lru_evictions = self.lru_evictions()
+        stats.quarantined = self.quarantined_count()
         return stats
 
 
@@ -623,6 +682,9 @@ class OptimizerSession:
         self._lock = threading.RLock()
         self.plan_hits = 0
         self.plan_misses = 0
+        #: Set by :meth:`from_snapshot_or_cold` when the snapshot was
+        #: rejected and this session started cold instead.
+        self.restore_error: Optional[SnapshotError] = None
 
     # -- multi-worker state sharing -------------------------------------------
     def snapshot_state(self, include_plans: bool = False) -> bytes:
@@ -637,23 +699,34 @@ class OptimizerSession:
         through its arena — a handful of flat id/float/flag columns (see
         :meth:`repro.dag.arena.DagArena.__getstate__`) rather than a pointer
         graph with one ``__reduce__`` record per node — which is what makes
-        whole-plan snapshots small enough to fan out.  Restore with
-        :meth:`from_snapshot` (both formats are recognized).
+        whole-plan snapshots small enough to fan out.  The pickled payload is
+        sealed in a versioned header with a sha256 checksum
+        (:func:`~repro.service.resilience.seal_snapshot`), so damaged bytes
+        are rejected at restore time instead of unpickling garbage.  Restore
+        with :meth:`from_snapshot` (both payload formats are recognized).
         """
         with self._lock:
             if not include_plans:
-                return pickle.dumps(self.cache, protocol=pickle.HIGHEST_PROTOCOL)
-            return pickle.dumps(
-                ("session-state", self.cache, self._plans),
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
+                payload = pickle.dumps(self.cache, protocol=pickle.HIGHEST_PROTOCOL)
+            else:
+                payload = pickle.dumps(
+                    ("session-state", self.cache, self._plans),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            return seal_snapshot(payload)
 
     @classmethod
     def from_snapshot(cls, data: bytes, **options: Any) -> "OptimizerSession":
         """A new session primed with a pickled fragment cache.
 
-        Accepts both snapshot formats: a bare :class:`SessionCache` (the
-        default :meth:`snapshot_state`) or the tagged
+        The bytes must carry the :meth:`snapshot_state` integrity header;
+        truncated, bit-flipped, or foreign payloads raise
+        :class:`~repro.service.resilience.SnapshotError` (a
+        :class:`TypeError` subclass — the historical foreign-payload
+        contract), and :meth:`from_snapshot_or_cold` is the documented
+        fall-back for callers that can rebuild state.  Both payload formats
+        are accepted: a bare :class:`SessionCache` (the default
+        :meth:`snapshot_state`) or the tagged
         ``("session-state", cache, plans)`` tuple produced with
         ``include_plans=True``, in which case the plan cache is restored as
         well.  The snapshot carries its own catalog and cost model (and cache
@@ -663,7 +736,11 @@ class OptimizerSession:
         *content*, not accounting: hit/miss/eviction counters restart at
         zero so every worker reports its own traffic, not its donor's.
         """
-        state = pickle.loads(data)
+        payload = open_snapshot(data)
+        try:
+            state = pickle.loads(payload)
+        except Exception as exc:  # checksum passed but the pickle is foreign
+            raise SnapshotError(f"snapshot payload failed to unpickle: {exc}") from exc
         plans: Optional[BoundedCache] = None
         if (
             isinstance(state, tuple)
@@ -672,21 +749,50 @@ class OptimizerSession:
         ):
             cache, plans = state[1], state[2]
             if not isinstance(plans, BoundedCache):
-                raise TypeError(
+                raise SnapshotError(
                     f"snapshot plan cache is not a BoundedCache: {type(plans)!r}"
                 )
         else:
             cache = state
         if not isinstance(cache, SessionCache):
-            raise TypeError(f"snapshot does not contain a SessionCache: {type(cache)!r}")
+            raise SnapshotError(
+                f"snapshot does not contain a SessionCache: {type(cache)!r}"
+            )
         cache.stats = SessionCacheStats()
         for family in cache._families().values():
             family.evictions = 0
+            family.quarantined = 0
         session = cls(cache.catalog, cost_model=cache.cost_model, **options)
         session.cache = cache
         session._cache_generation = cache.generation
         if plans is not None:
             session._plans = plans
+        return session
+
+    @classmethod
+    def from_snapshot_or_cold(
+        cls,
+        data: bytes,
+        catalog: Catalog,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        **options: Any,
+    ) -> "OptimizerSession":
+        """Restore from *data*, falling back to a cold session on damage.
+
+        The self-healing deployment path: a worker handed corrupted snapshot
+        bytes (truncation in transit, a flipped bit on disk) starts from a
+        cold cache against *catalog* instead of crashing — strictly slower,
+        never wrong, since every warm entry is merely a byte-identical
+        shortcut for work the cold path recomputes.  The triggering
+        :class:`~repro.service.resilience.SnapshotError` (or ``None`` on a
+        clean restore) is kept in :attr:`restore_error` for observability.
+        """
+        try:
+            # The snapshot carries its own catalog and cost model.
+            session = cls.from_snapshot(data, **options)
+        except SnapshotError as exc:
+            session = cls(catalog, cost_model=cost_model, **options)
+            session.restore_error = exc
         return session
 
     # -- plan cache ------------------------------------------------------------
@@ -746,10 +852,23 @@ class OptimizerSession:
         queries: Sequence[Query],
         algorithm: Union[str, Algorithm] = Algorithm.GREEDY,
         greedy_options: Optional[GreedyOptions] = None,
+        budget: Optional[OptimizeBudget] = None,
     ) -> OptimizationResult:
-        """Optimize a batch, reusing cached DAGs and results where possible."""
+        """Optimize a batch, reusing cached DAGs and results where possible.
+
+        With a *budget*, the call runs under a wall-clock deadline and
+        degrades gracefully on expiry (see
+        :func:`repro.service.resilience.run_ladder`); the returned result
+        carries a :class:`~repro.optimizer.report.DegradationReport`.  Only
+        ``FULL`` (undegraded) results enter the plan cache — a degraded plan
+        is a budget artifact, not the batch's answer — while cached full
+        results are served to budgeted calls outright (they are instant and
+        of maximal quality).  Without a *budget* the behavior — results,
+        counters, cached objects — is bit-identical to pre-budget code.
+        """
         algorithm = Algorithm.parse(algorithm)
         with self._lock:
+            start = time.perf_counter()
             entry = self._dag_entry(queries)
             result_key = (algorithm, greedy_options)
             if self.cache_plans:
@@ -758,10 +877,27 @@ class OptimizerSession:
                     self.plan_hits += 1
                     return cached
                 self.plan_misses += 1
-            result = self._optimizer.optimize(
-                queries, algorithm, dag=entry.dag, greedy_options=greedy_options
+            if budget is None:
+                result = self._optimizer.optimize(
+                    queries, algorithm, dag=entry.dag, greedy_options=greedy_options
+                )
+                if self.cache_plans:
+                    entry.results[result_key] = result
+                return result
+            result = run_ladder(
+                entry.dag,
+                algorithm,
+                budget,
+                start,
+                greedy_options=greedy_options,
+                enable_mqo=self.enable_mqo,
             )
-            if self.cache_plans:
+            report = result.degradation
+            if (
+                self.cache_plans
+                and report is not None
+                and report.level is DegradationLevel.FULL
+            ):
                 entry.results[result_key] = result
             return result
 
@@ -812,6 +948,14 @@ class CacheWarmer:
     calls, and correctness is unaffected either way: warming only populates
     caches whose reuse is byte-identical by construction.
 
+    A raising batch never kills the drain thread.  Each failed batch is
+    retried with bounded exponential backoff (``attempts`` tries total,
+    sleeping ``backoff_s * 2**i`` between them — transient failures like a
+    catalog mid-update are expected in a live service) before it is counted
+    into :attr:`errors`; the most recent exception is kept in
+    :attr:`last_error` for observability either way, and :attr:`retries`
+    counts the extra attempts made.
+
     Usage::
 
         warmer = CacheWarmer(session)
@@ -820,10 +964,23 @@ class CacheWarmer:
         warmer.close()   # drain outstanding batches, stop the thread
     """
 
-    def __init__(self, session: OptimizerSession) -> None:
+    def __init__(
+        self,
+        session: OptimizerSession,
+        attempts: int = 3,
+        backoff_s: float = 0.01,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts!r}")
+        if backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {backoff_s!r}")
         self.session = session
+        self.attempts = attempts
+        self.backoff_s = backoff_s
         self.warmed = 0
         self.errors = 0
+        self.retries = 0
+        self.last_error: Optional[BaseException] = None
         self._queue: "queue.Queue[Optional[List[Query]]]" = queue.Queue()
         self._thread = threading.Thread(
             target=self._drain, name="repro-cache-warmer", daemon=True
@@ -844,10 +1001,17 @@ class CacheWarmer:
             try:
                 if batch is None:
                     return
-                try:
-                    self.session.build_dag(batch)
-                    self.warmed += 1
-                except Exception:
+                for attempt in range(self.attempts):
+                    try:
+                        self.session.build_dag(batch)
+                        self.warmed += 1
+                        break
+                    except Exception as exc:
+                        self.last_error = exc
+                        if attempt + 1 < self.attempts:
+                            self.retries += 1
+                            time.sleep(self.backoff_s * (2 ** attempt))
+                else:
                     self.errors += 1
             finally:
                 self._queue.task_done()

@@ -93,6 +93,23 @@ print("snapshot", hashlib.sha256(fingerprint.encode()).hexdigest(),
       restored.cache.interned_count(), restored.cache_stats().hits > 0)
 for name, digest in sorted(optimizer.catalog.stats_digests().items()):
     print("digest", name, digest)
+# Chaos determinism (PR 9): a seeded FaultInjector must fire the same fault
+# schedule — and the faulted builds must produce the same bytes — under any
+# hash seed.  The schedule digest covers (family, access index, action)
+# tuples; the build fingerprints prove the faults changed nothing served.
+from repro.service import FaultInjector
+chaos_session = OptimizerSession(optimizer.catalog, cache_plans=False)
+injector = FaultInjector(seed=2024, rate=0.3)
+with injector.attach(chaos_session):
+    for round_index in range(2):
+        fingerprint = dag_fingerprint(chaos_session.build_dag(scaleup_queries(2)))
+        print("chaos-build", round_index,
+              hashlib.sha256(fingerprint.encode()).hexdigest())
+print("chaos-schedule", injector.schedule_digest(), injector.injected_faults)
+# Fixed input on purpose: this digests the corrupt_snapshot RNG stream, not
+# the (process-local) pickle bytes of a real snapshot.
+corrupted = injector.corrupt_snapshot(bytes(range(256)))
+print("chaos-snapshot", hashlib.sha256(corrupted).hexdigest())
 """
 
 

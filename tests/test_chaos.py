@@ -1,0 +1,255 @@
+"""Chaos suite: injected faults must never change a served plan.
+
+The fault model (``docs/RESILIENCE.md``) says every cache in the service
+layer is a *byte-identical shortcut*: any entry may vanish or turn to poison
+at any moment and the only observable consequence is recomputation.  This
+module enforces that with a differential oracle — workloads are served
+through a session while a seeded :class:`~repro.service.faults.FaultInjector`
+drops and corrupts entries mid-build, and every produced DAG must fingerprint
+identically to the memo-free reference builder
+(``DagBuilder(..., memoize=False)``), per cache family and across all of
+them at once.
+
+Determinism of the chaos itself is tested too (a failure that cannot replay
+cannot be debugged): identical seeds produce identical fault schedules, and
+the hash-seed matrix in ``tests/test_build_determinism.py`` extends the same
+check across ``PYTHONHASHSEED`` values.
+
+The service-process drills live at the end: a worker SIGKILLed mid-run must
+surface as a typed :class:`~repro.service.resilience.ServiceWorkerError`
+(exit code, heartbeat, partial results) instead of hanging the collector, and
+a corrupted snapshot must be rejected, not restored wrong.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+from repro.api import MQOptimizer
+from repro.catalog import psp_catalog
+from repro.dag.builder import DagBuilder
+from repro.service import (
+    FaultInjector,
+    OptimizerSession,
+    ServiceWorkerError,
+    SnapshotError,
+)
+from repro.workloads.scaleup import scaleup_queries
+
+from tests.generators import dag_fingerprint, random_query_workload
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+ALL_FAMILIES = (
+    "base_props",
+    "scans",
+    "derived",
+    "join_props",
+    "join_ops",
+    "join_recipes",
+    "block_shapes",
+    "block_keys",
+    "weak_joins",
+    "implications",
+)
+
+
+def _workloads():
+    batches = [scaleup_queries(i) for i in (1, 2, 3)]
+    batches += [random_query_workload(seed) for seed in (3, 7)]
+    return batches
+
+
+def _cold_fingerprints(catalog, batches):
+    return [
+        dag_fingerprint(DagBuilder(catalog, memoize=False).build(list(queries)))
+        for queries in batches
+    ]
+
+
+class TestDeterministicSchedules:
+    def _run(self, seed):
+        session = OptimizerSession(psp_catalog(), cache_plans=False)
+        injector = FaultInjector(seed, rate=0.25)
+        with injector.attach(session):
+            for queries in _workloads():
+                session.build_dag(queries)
+        return injector
+
+    def test_same_seed_same_schedule(self):
+        a, b = self._run(42), self._run(42)
+        assert a.schedule == b.schedule
+        assert a.schedule_digest() == b.schedule_digest()
+        assert a.injected_faults == b.injected_faults > 0
+
+    def test_different_seed_different_schedule(self):
+        a, b = self._run(42), self._run(43)
+        assert a.schedule_digest() != b.schedule_digest()
+
+    def test_corrupt_snapshot_is_deterministic(self):
+        session = OptimizerSession(psp_catalog())
+        session.build_dag(scaleup_queries(1))
+        data = session.snapshot_state()
+        one = FaultInjector(9).corrupt_snapshot(data)
+        two = FaultInjector(9).corrupt_snapshot(data)
+        assert one == two != data
+
+
+class TestFaultInjectorContract:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FaultInjector(1, rate=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(1, mode="meteor")
+        session = OptimizerSession(psp_catalog())
+        with pytest.raises(ValueError, match="unknown cache families"):
+            FaultInjector(1, families=["no_such_family"]).attach(session)
+
+    def test_refuses_double_attach(self):
+        session = OptimizerSession(psp_catalog())
+        first = FaultInjector(1).attach(session)
+        try:
+            with pytest.raises(ValueError, match="already has a fault hook"):
+                FaultInjector(2).attach(session)
+        finally:
+            first.detach()
+        # After detach the slot is free again.
+        FaultInjector(3).attach(session).detach()
+
+    def test_corrupt_snapshot_rejects_unknown_mode_and_empty_data(self):
+        injector = FaultInjector(1)
+        with pytest.raises(ValueError):
+            injector.corrupt_snapshot(b"x", mode="shred")
+        with pytest.raises(ValueError):
+            injector.corrupt_snapshot(b"")
+
+
+class TestByteIdentityUnderFaults:
+    """The oracle: faulted warm builds == memo-free cold builds, exactly."""
+
+    @pytest.mark.parametrize("mode", ["drop", "corrupt", "mixed"])
+    def test_all_families_mixed_workloads(self, mode):
+        catalog = psp_catalog()
+        batches = _workloads()
+        cold = _cold_fingerprints(catalog, batches)
+        session = OptimizerSession(catalog, cache_plans=False)
+        injector = FaultInjector(seed=101, rate=0.3, mode=mode)
+        with injector.attach(session):
+            # Two serving rounds: the first populates (and faults) the cache,
+            # the second rebuilds through the damaged warm state.
+            for _round in range(2):
+                for queries, expected in zip(batches, cold):
+                    assert dag_fingerprint(session.build_dag(queries)) == expected
+        assert injector.injected_faults > 0, "chaos run injected nothing"
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_each_family_at_full_fault_rate(self, family):
+        # rate=1.0 on one family: every read of it faults — the family is
+        # effectively unusable, and the plans must not care.
+        catalog = psp_catalog()
+        batches = [scaleup_queries(2), random_query_workload(5)]
+        cold = _cold_fingerprints(catalog, batches)
+        session = OptimizerSession(catalog, cache_plans=False)
+        injector = FaultInjector(seed=7, rate=1.0, families=[family], mode="mixed")
+        with injector.attach(session):
+            for _round in range(2):
+                for queries, expected in zip(batches, cold):
+                    assert dag_fingerprint(session.build_dag(queries)) == expected
+
+    def test_optimize_costs_match_one_shot_reference(self):
+        catalog = psp_catalog()
+        session = OptimizerSession(catalog, cache_plans=True)
+        reference = MQOptimizer(catalog)
+        injector = FaultInjector(seed=23, rate=0.3)
+        with injector.attach(session):
+            for queries in _workloads():
+                for algorithm in ("greedy", "volcano-ru"):
+                    warm = session.optimize(queries, algorithm)
+                    cold = reference.optimize(queries, algorithm)
+                    assert warm.cost == cold.cost
+                    assert sorted(warm.plan.materialized) == sorted(
+                        cold.plan.materialized
+                    )
+        assert injector.injected_faults > 0
+
+    def test_quarantine_counters_account_for_poison(self):
+        session = OptimizerSession(psp_catalog(), cache_plans=False)
+        injector = FaultInjector(seed=3, rate=0.5, mode="corrupt")
+        with injector.attach(session):
+            session.build_dag(scaleup_queries(2))
+            session.build_dag(scaleup_queries(2))
+        stats = session.cache_stats()
+        assert injector.injected_corruptions > 0
+        assert stats.quarantined > 0
+        assert stats.quarantined <= injector.injected_corruptions
+
+
+class TestRecipeQuarantine:
+    def test_malformed_recipe_is_quarantined_and_rebuilt(self):
+        catalog = psp_catalog()
+        queries = scaleup_queries(2)
+        expected = dag_fingerprint(DagBuilder(catalog, memoize=False).build(list(queries)))
+        session = OptimizerSession(catalog, cache_plans=False)
+        session.build_dag(queries)
+        cache = session.cache
+        assert len(cache.join_recipes) > 0
+        # Structurally damage every recorded recipe (keep the deps component
+        # intact so invalidation bookkeeping is untouched).
+        for key in list(cache.join_recipes):
+            _entries, deps = dict.__getitem__(cache.join_recipes, key)
+            dict.__setitem__(cache.join_recipes, key, (("bogus",), deps))
+        assert dag_fingerprint(session.build_dag(queries)) == expected
+        stats = session.cache_stats()
+        assert stats.recipe_quarantines > 0
+        # Quarantined recipes were re-recorded by the rebuild: a third build
+        # replays them cleanly.
+        before = stats.recipe_quarantines
+        assert dag_fingerprint(session.build_dag(queries)) == expected
+        assert session.cache_stats().recipe_quarantines == before
+
+
+def _load_harness():
+    spec = importlib.util.spec_from_file_location(
+        "chaos_test_harness", os.path.join(REPO_ROOT, "benchmarks", "harness.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestServiceWorkerFailure:
+    def test_sigkilled_worker_is_a_typed_failure_not_a_hang(self):
+        harness = _load_harness()
+        with pytest.raises(ServiceWorkerError) as excinfo:
+            harness.measure_service_throughput(
+                workers=2, batches=8, kill_after=2, worker_timeout_s=60.0
+            )
+        error = excinfo.value
+        assert len(error.failures) == 1
+        failure = error.failures[0]
+        assert failure["worker"] == 0
+        assert failure["exitcode"] == -9  # SIGKILL
+        assert failure["heartbeat"] == 2  # batches served before death
+        assert error.partial["reports"] == 1  # the survivor still reported
+        assert "worker 0" in str(error)
+
+    def test_chaos_service_run_completes_and_verifies(self):
+        harness = _load_harness()
+        metrics = harness.measure_service_throughput(
+            workers=2, batches=12, chaos_seed=5
+        )
+        assert metrics["chaos"] is True
+        assert metrics["injected_faults"] > 0
+        assert metrics["worker_failures"] == []
+
+    def test_corrupted_snapshot_never_restores_wrong(self):
+        session = OptimizerSession(psp_catalog())
+        session.build_dag(scaleup_queries(1))
+        data = session.snapshot_state()
+        for mode in ("truncate", "bitflip"):
+            damaged = FaultInjector(seed=11).corrupt_snapshot(data, mode=mode)
+            with pytest.raises(SnapshotError):
+                OptimizerSession.from_snapshot(damaged)

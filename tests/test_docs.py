@@ -1,7 +1,8 @@
 """Docs freshness: the documentation's code examples must actually run.
 
 Every fenced ``python`` block in ``README.md``, ``docs/DETERMINISM.md``,
-and ``docs/ARCHITECTURE.md`` is executed in its own namespace (asserts
+``docs/ARCHITECTURE.md``, and ``docs/RESILIENCE.md`` is executed in its own
+namespace (asserts
 included), so the documented API — the quick-start, the
 ``OptimizerSession`` warm-rebuild example, the linter example, the arena
 walkthrough — can never drift from the code.  The blocks are intentionally small
@@ -26,6 +27,7 @@ DOCS = {
     "README.md": os.path.join(REPO_ROOT, "README.md"),
     "DETERMINISM.md": os.path.join(REPO_ROOT, "docs", "DETERMINISM.md"),
     "ARCHITECTURE.md": os.path.join(REPO_ROOT, "docs", "ARCHITECTURE.md"),
+    "RESILIENCE.md": os.path.join(REPO_ROOT, "docs", "RESILIENCE.md"),
 }
 
 _BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -51,6 +53,10 @@ def test_determinism_doc_has_python_example():
 
 def test_architecture_doc_has_python_example():
     assert len(_python_blocks("ARCHITECTURE.md")) >= 1, "ARCHITECTURE.md lost its executable example"
+
+
+def test_resilience_doc_has_python_examples():
+    assert len(_python_blocks("RESILIENCE.md")) >= 3, "RESILIENCE.md lost its executable examples"
 
 
 @pytest.mark.parametrize("doc, index, block", _all_blocks())
