@@ -45,7 +45,7 @@ machine-independent — so the gate checks them against fixed floors
 **Series policy.**  Every PR that touches performance-relevant code emits
 exactly one ``BENCH_pr<k>.json`` at the repository root, produced by this
 harness on the PR's container (``--smoke --warm --service --json
-BENCH_pr<k>.json``, full service scale).  PRs that do not touch perf code
+BENCH_pr<k>.json``, full service scale; since PR 10 plus ``--result-cache``).  PRs that do not touch perf code
 emit none — gaps in the ``pr<k>`` numbering are expected and mean exactly
 that, not lost data (there is no ``BENCH_pr6.json``: PR 6 was the linter).
 Since PR 7 the snapshot also carries a ``service_throughput`` entry — the
@@ -59,6 +59,22 @@ worker processes, bounded caches, overlapping batches)::
       "fragment_hit_rate": <hits / (hits + misses), aggregated>,
       "lru_evictions": <capacity evictions, aggregated>,
       "family_sizes_max": {<family>: <largest end-state size any worker saw>},
+      ...
+    }
+
+Since PR 10 ``--result-cache`` adds a ``result_cache`` entry — the
+cross-batch semantic result cache drill: the same stream of overlapping
+batches is optimized *and executed* twice, once per-batch cold and once
+through a single session whose :class:`~repro.execution.result_cache.
+ResultCache` carries intermediates across batches.  Rows must be
+byte-identical in both modes and accounted block reads must drop at least
+2x (the PR's acceptance metric)::
+
+    "result_cache": {
+      "off_blocks_read": ..., "on_blocks_read": ..., "reduction": ...,
+      "counters": {"exact_injections": ..., "covering_injections": ...,
+                   "adoptions": ..., "exec_serves": ..., "injected_serves": ...,
+                   ...},
       ...
     }
 """
@@ -244,7 +260,8 @@ def _service_batch_queries(spec: tuple) -> List[Query]:
 def _service_worker(worker_id: int, snapshot: bytes, specs: List[tuple],
                     results: "object", heartbeats: "object" = None,
                     chaos_seed: Optional[int] = None,
-                    kill_after: Optional[int] = None) -> None:
+                    kill_after: Optional[int] = None,
+                    result_cache: bool = False) -> None:
     """One service worker: restore the snapshot, serve batches, report stats.
 
     The snapshot bytes are deliberately round-tripped through
@@ -262,12 +279,30 @@ def _service_worker(worker_id: int, snapshot: bytes, specs: List[tuple],
     against a one-shot optimizer too — faults must degrade hit rate, never
     correctness.  *kill_after* makes the worker SIGKILL itself after serving
     that many batches (the crash path under test in ``tests/test_chaos.py``).
+    With *result_cache* the restored snapshot carries the parent's warm
+    ``results`` family: the worker executes every batch through a
+    :class:`~repro.execution.ResultCache`-backed executor (deterministically
+    regenerated data), and the verification batches additionally run the
+    one-shot reference plan on a cache-less executor and require the rows to
+    be byte-identical.
     """
     from repro.service.session import OptimizerSession
 
     session = OptimizerSession.from_snapshot(
-        snapshot, cache_plans=True, max_plans=SERVICE_MAX_PLANS
+        snapshot, cache_plans=True, max_plans=SERVICE_MAX_PLANS,
+        result_cache=result_cache,
     )
+    executor = cold_executor = None
+    exec_blocks = 0
+    if result_cache:
+        from repro.catalog.psp import DEFAULT_RELATION_COUNT
+        from repro.execution import Executor, generate_psp_data
+
+        database = generate_psp_data(relation_count=DEFAULT_RELATION_COUNT,
+                                     rows_per_table=SERVICE_EXEC_ROWS)
+        executor = Executor(database, session.catalog,
+                            result_cache=session.result_cache)
+        cold_executor = Executor(database, session.catalog)
     injector = None
     if chaos_seed is not None:
         from repro.service.faults import FaultInjector
@@ -284,6 +319,10 @@ def _service_worker(worker_id: int, snapshot: bytes, specs: List[tuple],
         served += 1
         if heartbeats is not None:
             heartbeats[worker_id] = served
+        execution = None
+        if executor is not None:
+            execution = executor.run(result.plan)
+            exec_blocks += execution.stats.blocks_read
         verify = not verified or (injector is not None and index == len(specs) - 1)
         if verify:
             reference = MQOptimizer(session.catalog).optimize(queries, "greedy")
@@ -291,6 +330,13 @@ def _service_worker(worker_id: int, snapshot: bytes, specs: List[tuple],
                 f"worker {worker_id}: warm cost {result.cost!r} != "
                 f"one-shot cost {reference.cost!r}"
             )
+            if execution is not None:
+                cold = cold_executor.run(reference.plan)
+                assert (_rows_digest(execution.per_query_rows)
+                        == _rows_digest(cold.per_query_rows)), (
+                    f"worker {worker_id}: result-cache rows diverged from "
+                    f"the cold execution on batch {index}"
+                )
             verified = True
         if kill_after is not None and served >= kill_after:
             import signal
@@ -311,13 +357,18 @@ def _service_worker(worker_id: int, snapshot: bytes, specs: List[tuple],
         "plan_misses": session.plan_misses,
         "family_sizes": session.cache.family_sizes(),
         "verified_first_batch": verified,
+        "exec_blocks_read": exec_blocks,
+        "result_cache_counters": (
+            session.result_cache.counters()
+            if session.result_cache is not None else None
+        ),
     })
 
 
 def measure_service_throughput(
     workers: int = 2, batches: int = 1000, scale: int = 1,
     chaos_seed: Optional[int] = None, kill_after: Optional[int] = None,
-    worker_timeout_s: float = 120.0,
+    worker_timeout_s: float = 120.0, result_cache: bool = False,
 ) -> Dict[str, object]:
     """Serve *batches* overlapping batches from *workers* processes sharing
     one warm, bounded fragment-cache snapshot; return throughput metrics.
@@ -343,6 +394,12 @@ def measure_service_throughput(
     each worker serves under a seeded :class:`FaultInjector`, and the parent
     first proves a corrupted snapshot is *rejected* (``SnapshotError`` →
     ``from_snapshot_or_cold`` fallback) rather than restored wrong.
+
+    With *result_cache* (the ``--service --result-cache`` CI smoke leg) the
+    parent additionally executes one warm workload so the pickled snapshot
+    carries ``results``-family entries, and every worker executes its batches
+    through the restored :class:`~repro.execution.ResultCache` — cross-batch
+    *and* cross-process reuse with byte-identity spot checks.
     """
     import multiprocessing
     import queue as queue_module
@@ -353,8 +410,20 @@ def measure_service_throughput(
     from repro.workloads.scaleup import scaleup_queries
 
     limits = SessionCacheLimits.bounded(scale)
-    parent = OptimizerSession(psp_catalog(), cache_plans=False, limits=limits)
+    parent = OptimizerSession(psp_catalog(), cache_plans=False, limits=limits,
+                              result_cache=result_cache)
     parent.build_dag(scaleup_queries(5))  # warm the shared fragment snapshot
+    if result_cache:
+        # Warm the results family too: workers restore a snapshot that
+        # already holds executed intermediates for the early components.
+        from repro.catalog.psp import DEFAULT_RELATION_COUNT
+        from repro.execution import Executor, generate_psp_data
+
+        database = generate_psp_data(relation_count=DEFAULT_RELATION_COUNT,
+                                     rows_per_table=SERVICE_EXEC_ROWS)
+        warm_plan = parent.optimize(scaleup_queries(2), "greedy").plan
+        Executor(database, parent.catalog,
+                 result_cache=parent.result_cache).run(warm_plan)
     snapshot = parent.snapshot_state()
 
     if chaos_seed is not None:
@@ -377,7 +446,7 @@ def measure_service_throughput(
             target=_service_worker,
             args=(worker_id, snapshot, specs[worker_id::workers], results_queue,
                   heartbeats, chaos_seed,
-                  kill_after if worker_id == 0 else None),
+                  kill_after if worker_id == 0 else None, result_cache),
         )
         for worker_id in range(workers)
     ]
@@ -479,6 +548,12 @@ def measure_service_throughput(
         )
     hits = sum(report["hits"] for report in reports)
     misses = sum(report["misses"] for report in reports)
+    rc_counters: Optional[Dict[str, int]] = None
+    if result_cache:
+        rc_counters = {}
+        for report in reports:
+            for key, value in report["result_cache_counters"].items():
+                rc_counters[key] = rc_counters.get(key, 0) + value
     return {
         "workers": workers,
         "batches": batches,
@@ -501,6 +576,9 @@ def measure_service_throughput(
         "injected_faults": sum(report["injected_faults"] for report in reports),
         "quarantined": sum(report["quarantined"] for report in reports),
         "recipe_quarantines": sum(report["recipe_quarantines"] for report in reports),
+        "result_cache": result_cache,
+        "exec_blocks_read": sum(report["exec_blocks_read"] for report in reports),
+        "result_cache_counters": rc_counters,
         "worker_failures": [],
     }
 
@@ -525,6 +603,13 @@ def print_service_table(metrics: Dict[str, object]) -> None:
               f"{metrics['quarantined']} entries quarantined, "
               f"{metrics['recipe_quarantines']} recipes quarantined "
               f"(plans verified byte-identical)")
+    if metrics.get("result_cache"):
+        counters = metrics["result_cache_counters"]
+        print(f"result cache:       {metrics['exec_blocks_read']} executed block "
+              f"reads; {counters['injected_serves']} injected / "
+              f"{counters['exec_serves']} digest serves, "
+              f"{counters['exact_injections']}+{counters['covering_injections']} "
+              f"injections (rows verified byte-identical)")
     sizes = metrics["family_sizes_max"]
     caps = metrics["family_caps"]
     over = ", ".join(
@@ -533,6 +618,142 @@ def print_service_table(metrics: Dict[str, object]) -> None:
         if sizes[family] > 0
     )
     print(f"family fill (max/cap): {over}")
+
+
+# ---------------------------------------------------------------------------
+# Cross-batch result-cache scenario (PR 10)
+# ---------------------------------------------------------------------------
+
+#: Rows per PSP relation for the standalone ``--result-cache`` scenario:
+#: small enough that the pure-Python executor stays fast, large enough that
+#: intermediates span multiple accounted blocks and caching them pays.
+RESULT_CACHE_ROWS = 300
+#: Rows per PSP relation when ``--service --result-cache`` workers execute
+#: every batch (the full 22-relation schema, so smaller tables).
+SERVICE_EXEC_ROWS = 120
+
+
+def _result_cache_batch_specs(count: int) -> List[tuple]:
+    """Deterministic overlapping component windows over components 1..6.
+
+    Each spec is ``(start, width)`` like :func:`_service_batch_specs`, but
+    confined to the first six scale-up components so the whole stream fits a
+    10-relation catalog (component ``i`` reads ``PSP_i .. PSP_{i+4}``).
+    Starts cycle 1..5 and widths alternate 1/2 — ten distinct batches with
+    heavy scan overlap, repeating for larger *count* (repeats exercise
+    warm-fragment reuse plus execution-time digest serves).
+    """
+    return [((i * 2) % 5 + 1, 1 + i % 2) for i in range(count)]
+
+
+def _rows_digest(per_query_rows: List[List[dict]]) -> str:
+    """sha256 over the exact rows — values, row order, column order — of a
+    per-query row list (the byte-identity oracle used across the suite)."""
+    import hashlib
+
+    serialized = repr([
+        [[(str(col), row[col]) for col in row] for row in rows]
+        for rows in per_query_rows
+    ])
+    return hashlib.sha256(serialized.encode()).hexdigest()
+
+
+def measure_result_cache(
+    batches: int = 12, relation_count: int = 10,
+    rows_per_table: int = RESULT_CACHE_ROWS,
+) -> Dict[str, object]:
+    """Execute overlapping batches with the cross-batch result cache off and
+    on; assert byte-identical rows and a >= 2x block-read reduction.
+
+    The OFF pass is the seed pipeline: every batch gets a fresh one-shot
+    :class:`MQOptimizer` and a fresh cache-less :class:`Executor` — no state
+    crosses batch boundaries.  The ON pass serves the same stream from one
+    :class:`OptimizerSession` with ``result_cache=True`` and one executor
+    bound to it, so intermediates executed for early batches are injected
+    (exactly or by covering subsumption) into later builds and served at
+    execution time.  Both passes run over the same generated database;
+    per-batch rows must be byte-identical (row and column order included),
+    and the aggregated accounted block reads must drop at least 2x — the
+    PR's acceptance metric, asserted here so the benchmark itself is a gate.
+    """
+    from repro.execution import Executor, generate_psp_data
+    from repro.service.session import OptimizerSession
+
+    catalog = psp_catalog(relation_count=relation_count)
+    database = generate_psp_data(relation_count=relation_count,
+                                 rows_per_table=rows_per_table)
+    specs = _result_cache_batch_specs(batches)
+    workloads = [_service_batch_queries(spec) for spec in specs]
+
+    per_batch: List[Dict[str, object]] = []
+    off_digests: List[str] = []
+    off_blocks = 0
+    off_seconds = 0.0
+    for spec, queries in zip(specs, workloads):
+        plan = MQOptimizer(catalog).optimize(queries, "greedy").plan
+        execution = Executor(database, catalog).run(plan)
+        off_digests.append(_rows_digest(execution.per_query_rows))
+        off_blocks += execution.stats.blocks_read
+        off_seconds += execution.simulated_seconds
+        per_batch.append({"spec": list(spec),
+                          "off_blocks": execution.stats.blocks_read})
+
+    session = OptimizerSession(catalog, cache_plans=False, result_cache=True)
+    executor = Executor(database, catalog, result_cache=session.result_cache)
+    on_blocks = 0
+    on_seconds = 0.0
+    for index, queries in enumerate(workloads):
+        plan = session.optimize(queries, "greedy").plan
+        execution = executor.run(plan)
+        digest = _rows_digest(execution.per_query_rows)
+        assert digest == off_digests[index], (
+            f"result-cache batch {index} returned different rows than its "
+            f"cold execution"
+        )
+        on_blocks += execution.stats.blocks_read
+        on_seconds += execution.simulated_seconds
+        per_batch[index]["on_blocks"] = execution.stats.blocks_read
+
+    reduction = (off_blocks / on_blocks) if on_blocks else float("inf")
+    assert reduction >= 2.0, (
+        f"result cache reduced accounted block reads only {reduction:.2f}x "
+        f"({off_blocks} -> {on_blocks}); the acceptance floor is 2x"
+    )
+    assert session.result_cache is not None
+    return {
+        "batches": batches,
+        "relation_count": relation_count,
+        "rows_per_table": rows_per_table,
+        "off_blocks_read": off_blocks,
+        "on_blocks_read": on_blocks,
+        "reduction": reduction,
+        "off_simulated_s": off_seconds,
+        "on_simulated_s": on_seconds,
+        "rows_identical": True,
+        "counters": session.result_cache.counters(),
+        "per_batch": per_batch,
+    }
+
+
+def print_result_cache_table(metrics: Dict[str, object]) -> None:
+    """One summary block for :func:`measure_result_cache`."""
+    print("\n=== cross-batch result cache (accounted block reads) ===")
+    print(f"batches:            {metrics['batches']} overlapping component "
+          f"windows ({metrics['relation_count']} relations, "
+          f"{metrics['rows_per_table']} rows each)")
+    print(f"blocks read (off):  {metrics['off_blocks_read']}")
+    print(f"blocks read (on):   {metrics['on_blocks_read']}")
+    print(f"reduction:          {metrics['reduction']:.2f}x (acceptance floor: 2x)")
+    print(f"simulated seconds:  {metrics['off_simulated_s']:.3f} -> "
+          f"{metrics['on_simulated_s']:.3f}")
+    counters = metrics["counters"]
+    print(f"injections:         {counters['exact_injections']} exact / "
+          f"{counters['covering_injections']} covering "
+          f"({counters['adoptions']} adoptions)")
+    print(f"serves:             {counters['injected_serves']} injected / "
+          f"{counters['exec_serves']} digest-exact "
+          f"({counters['stores']} stores, {counters['entries']} entries)")
+    print("rows:               byte-identical to the cold execution, every batch")
 
 
 # ---------------------------------------------------------------------------
@@ -858,6 +1079,13 @@ def _main(argv: List[str]) -> int:
     parser.add_argument("--service-batches", type=int, default=1000, metavar="N",
                         help="total batches served by --service (default: 1000; "
                              "CI smoke uses 40)")
+    parser.add_argument("--result-cache", action="store_true",
+                        help="run the cross-batch ResultCache drill: the same "
+                             "overlapping batches executed with the cache off "
+                             "and on (byte-identical rows enforced, >= 2x "
+                             "fewer accounted block reads asserted); with "
+                             "--service, workers also execute every batch "
+                             "through a snapshot-restored result cache")
     parser.add_argument("--chaos", action="store_true",
                         help="with --service: run the fault drill — seeded "
                              "FaultInjector in every worker, corrupted-"
@@ -877,9 +1105,11 @@ def _main(argv: List[str]) -> int:
     args = parser.parse_args(argv)
     if args.perf_gate:
         return perf_gate(args.baseline, update=args.update_baseline)
-    if not args.smoke and not args.warm and not args.service:
-        parser.error("nothing to do: pass --smoke, --warm, --service, or "
-                     "--perf-gate (the full suite runs via pytest)")
+    if (not args.smoke and not args.warm and not args.service
+            and not args.result_cache):
+        parser.error("nothing to do: pass --smoke, --warm, --service, "
+                     "--result-cache, or --perf-gate (the full suite runs "
+                     "via pytest)")
     if args.smoke:
         smoke(batch_index=args.batch, json_path=args.json)
     if args.warm:
@@ -898,10 +1128,24 @@ def _main(argv: List[str]) -> int:
             print(f"warm-rebuild results written to {args.json}")
     if args.chaos and not args.service:
         parser.error("--chaos only makes sense with --service")
+    if args.result_cache:
+        metrics = measure_result_cache()
+        print_result_cache_table(metrics)
+        if args.json:
+            try:
+                with open(args.json) as handle:
+                    payload = json.load(handle)
+            except (FileNotFoundError, ValueError):
+                payload = {}
+            payload["result_cache"] = metrics
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+            print(f"result-cache results written to {args.json}")
     if args.service:
         metrics = measure_service_throughput(
             workers=args.service_workers, batches=args.service_batches,
             chaos_seed=args.chaos_seed if args.chaos else None,
+            result_cache=args.result_cache,
         )
         print_service_table(metrics)
         if args.json:

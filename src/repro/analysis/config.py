@@ -90,6 +90,7 @@ DEFAULT_REGISTRIES: Mapping[str, str] = {
     "DagBuilder": "build",
     "OptimizerSession": "_sync",
     "DagArena": "__setstate__",
+    "ResultCache": "clear",
 }
 
 #: Path fragments excluded from linting (fnmatch patterns over ``/``-joined

@@ -83,6 +83,30 @@ def project_cost(model: CostModel, input_rows: float) -> Cost:
     return model.cpu(0, input_rows)
 
 
+def cached_read_cost(
+    model: CostModel,
+    cached_rows: float,
+    cached_blocks: float,
+    output_rows: float,
+    residual: bool,
+) -> Cost:
+    """Serving a node from the cross-batch result cache.
+
+    The cached intermediate is read back sequentially from its stored
+    blocks; a *covering* hit additionally pays a pipelined compensating
+    selection over the cached rows (mirroring :func:`filter_cost`).  This is
+    the reuse-cost model for the ``CachedReadOp`` operations injected by
+    :func:`repro.dag.subsumption.inject_cached_results` — exactly how the
+    paper prices reading a materialized result, which keeps injected
+    derivations comparable with every other operation in the DAG's additive
+    cost recurrence.
+    """
+    cost = model.sequential_read(cached_blocks)
+    if residual:
+        cost = cost + model.cpu(0, cached_rows + output_rows)
+    return cost
+
+
 # ---------------------------------------------------------------------------
 # Joins
 # ---------------------------------------------------------------------------

@@ -110,6 +110,7 @@ from repro.dag.nodes import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.execution.result_cache import ResultCache
     from repro.service.session import SessionCache
 
 
@@ -349,6 +350,7 @@ class DagBuilder:
         prune_unreferenced_columns: bool = True,
         memoize: bool = True,
         session: Optional["SessionCache"] = None,
+        result_cache: Optional["ResultCache"] = None,
     ) -> None:
         self.catalog = catalog
         self.cost_model = cost_model
@@ -412,6 +414,17 @@ class DagBuilder:
             if session.cost_model is not cost_model:
                 raise ValueError("session cache is bound to a different cost model")
         self._session = session
+        #: Cross-batch executed-result store (:mod:`repro.execution.result_cache`).
+        #: When attached, :meth:`build` injects cached intermediates as
+        #: reuse-cost base derivations after the subsumption pass; ``None``
+        #: (the default, and the only cache-off code path) builds exactly as
+        #: before.  Bound to the same session so invalidation is unified.
+        if result_cache is not None:
+            if session is None:
+                raise ValueError("a result cache requires a session cache")
+            if result_cache.session is not session:
+                raise ValueError("result cache is bound to a different session cache")
+        self._result_cache = result_cache
         # Per-build session annotations, (re)initialized in :meth:`build`:
         # equivalence-node id -> interned canonical-key id / properties id /
         # relation-dependency id, interned-key id -> node id, and the
@@ -561,6 +574,10 @@ class DagBuilder:
             from repro.dag.subsumption import apply_subsumption
 
             apply_subsumption(self)
+        if self._result_cache is not None:
+            from repro.dag.subsumption import inject_cached_results
+
+            inject_cached_results(self)
         pseudo_props = LogicalProperties(1.0, {})
         pseudo_root = self.dag.equivalence(("pseudo-root",), pseudo_props, "pseudo-root")
         self.dag.add_operation(pseudo_root, NoOp(), roots, 0.0)

@@ -30,7 +30,7 @@ interned-signature dict probe instead of the historical per-node scan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -60,6 +60,7 @@ __all__ = [
     "JoinOp",
     "AggregateOp",
     "NestedApplyOp",
+    "CachedReadOp",
     "NoOp",
     "OperationNode",
     "EquivalenceNode",
@@ -180,6 +181,38 @@ class NestedApplyOp(Operator):
 
     def describe(self) -> str:
         return f"apply[{self.invocations:.0f} invocations]"
+
+
+@dataclass(frozen=True)
+class CachedReadOp(Operator):
+    """Read a previously executed intermediate from the cross-batch result
+    cache (:mod:`repro.execution.result_cache`).
+
+    Injected at build time over scan equivalence nodes whose predicates are
+    matched exactly — or *covered* — by a cached entry; ``residual`` is the
+    compensating selection of a covering hit (``None`` for an exact hit).
+    ``digest`` content-addresses the cached entry; ``rows`` pins the served
+    data in the operator itself, so a plan, once built, executes the same
+    bytes even if the store entry is evicted or corrupted afterwards.  The
+    pinned rows are excluded from equality/hashing/repr — the digest plus
+    residual already identify the content.
+    """
+
+    digest: str
+    table: str
+    alias: str
+    blocks: int
+    row_count: int
+    residual: Optional[Predicate] = None
+    rows: Tuple[Dict[ColumnRef, object], ...] = field(
+        default=(), compare=False, repr=False
+    )
+    name: str = "cached-read"
+
+    def describe(self) -> str:
+        if self.residual is None:
+            return f"cached[{self.digest[:12]}]"
+        return f"σ[{self.residual}](cached[{self.digest[:12]}])"
 
 
 @dataclass(frozen=True)

@@ -51,10 +51,11 @@ from repro.algebra.predicates import (
     or_,
 )
 from repro.cost import algorithms as alg
-from repro.dag.nodes import AggregateOp, SelectOp
+from repro.dag.nodes import AggregateOp, CachedReadOp, ScanOp, SelectOp
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.dag.builder import DagBuilder
+    from repro.execution.result_cache import ResultCacheEntry
 
 
 def apply_subsumption(builder: "DagBuilder") -> int:
@@ -137,6 +138,146 @@ def _selection_subsumption(builder: "DagBuilder") -> int:
                     )
                     added += 1
     return added
+
+
+# ---------------------------------------------------------------------------
+# Cross-batch result-cache injection (PR 10)
+# ---------------------------------------------------------------------------
+
+def inject_cached_results(builder: "DagBuilder") -> int:
+    """Inject cached executed results as base derivations of scan nodes.
+
+    For every scan equivalence node of the freshly built DAG, the builder's
+    :class:`~repro.execution.result_cache.ResultCache` is consulted for
+    entries over the same ``(table, alias)``:
+
+    * an entry whose predicate set matches the node's **exactly** is
+      injected as-is (no residual);
+    * otherwise the cheapest entry whose predicates are **implied** by the
+      node's (the same :meth:`DagBuilder._implies_cached` proof the
+      selection-subsumption pass uses — a cached *weaker* result is a
+      superset of the needed rows) is injected with a compensating residual
+      selection over the full predicate set.
+
+    Injection is restricted to scan-family keys deliberately: every
+    derivation of a scan equivalence node produces rows in table-scan order
+    with identical column sets (the executor never prunes columns), so
+    serving the cached rows — filtered by the residual for covering hits —
+    is byte-identical to any cold derivation of the node.  The injected
+    operation is a :class:`~repro.dag.nodes.CachedReadOp` over a new base
+    equivalence node keyed ``("cached-result", digest)``.
+
+    **Admission and pricing.**  The reuse-cost model
+    (:func:`repro.cost.algorithms.cached_read_cost`) gates admission: an
+    entry is injected only when reading it back (plus the residual filter)
+    is estimated no more expensive than the node's plain table scan.  The
+    injected operation itself is priced *infinite*, which keeps it invisible
+    to every cost table and argmin of the optimization search — join-order,
+    materialization, and tie-break decisions are bit-identical to a
+    cache-off build.  Adoption happens per node, after the search, in
+    :func:`repro.execution.result_cache.adopt_cached_reads`; because it only
+    ever swaps the derivation of a scan-family node, the executed rows are
+    byte-identical to the cache-off plan's.  Candidate order and the
+    injected predicate order are canonical (sorted by content), so injection
+    is deterministic across ``PYTHONHASHSEED`` values and processes.
+
+    Returns the number of operations injected.
+    """
+    cache = builder._result_cache
+    if cache is None:
+        return 0
+    added = 0
+    arena = builder.dag.arena
+    eq_key = arena.eq_key
+    eq_props = arena.eq_props
+    for (table, alias), members in sorted(_scan_groups(builder).items()):
+        candidates = cache.scan_candidates(table, alias)
+        if not candidates:
+            continue
+        deps_id: Optional[int] = None
+        for eq_id in members:
+            scan_cost = _plain_scan_cost(builder, eq_id)
+            if scan_cost is None:
+                continue
+            preds = _key_predicates(eq_key[eq_id])
+            chosen: Optional["ResultCacheEntry"] = None
+            residual: Optional[Predicate] = None
+            for entry in candidates:
+                if entry.predicates == preds:
+                    chosen = entry
+                    break
+            if chosen is None and preds:
+                # Covering: candidates come smallest-first, so the first
+                # implied (strictly weaker) entry is the cheapest to read
+                # and filter.
+                for entry in candidates:
+                    weaker = entry.predicates or frozenset()
+                    if weaker == preds:
+                        continue
+                    if not weaker or builder._implies_cached(preds, weaker):
+                        chosen = entry
+                        residual = and_(*sorted(preds, key=builder._pred_key))
+                        break
+            if chosen is None:
+                continue
+            reuse_cost = alg.cached_read_cost(
+                builder.cost_model,
+                float(chosen.row_count),
+                float(chosen.blocks),
+                eq_props[eq_id].rows,
+                residual is not None,
+            )
+            if reuse_cost.total > scan_cost:
+                continue
+            base_key = ("cached-result", chosen.digest)
+            base_id = builder.dag.find_id(base_key)
+            if base_id is None:
+                base_node = builder.dag.equivalence(
+                    base_key,
+                    chosen.props,
+                    f"cached[{chosen.digest[:12]}]",
+                    is_base=True,
+                )
+                base_id = base_node.id
+                if builder._session is not None:
+                    if deps_id is None:
+                        deps_id = builder._leaf_tag_deps(table)[1]
+                    builder._register_id(base_id, deps_id)
+            builder.dag.add_operation_id(
+                eq_id,
+                CachedReadOp(
+                    digest=chosen.digest,
+                    table=table,
+                    alias=alias,
+                    blocks=chosen.blocks,
+                    row_count=chosen.row_count,
+                    residual=residual,
+                    rows=tuple(chosen.rows),
+                ),
+                (base_id,),
+                float("inf"),
+            )
+            if residual is None:
+                cache.exact_injections += 1
+            else:
+                cache.covering_injections += 1
+            added += 1
+    return added
+
+
+def _plain_scan_cost(builder: "DagBuilder", eq_id: int) -> Optional[float]:
+    """Local cost of the node's plain :class:`ScanOp` derivation, if any.
+
+    The admission baseline for cached reads: reading a cached result must
+    be estimated no more expensive than rescanning the stored table (the
+    scan operation's child is the zero-cost base node, so its local cost is
+    its total).
+    """
+    arena = builder.dag.arena
+    for op_id in arena.eq_op_ids[eq_id]:
+        if isinstance(arena.op_operator[op_id], ScanOp):
+            return arena.op_local_cost[op_id]
+    return None
 
 
 # ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@ still checks that MQO plans do less real work, which is the claim.
 from repro.execution.datagen import generate_psp_data, generate_tpcd_data
 from repro.execution.executor import ExecutionResult, Executor
 from repro.execution.operators import ExecutionStats
+from repro.execution.result_cache import ResultCache, ResultCacheEntry
 
 __all__ = [
     "generate_tpcd_data",
@@ -19,4 +20,6 @@ __all__ = [
     "Executor",
     "ExecutionResult",
     "ExecutionStats",
+    "ResultCache",
+    "ResultCacheEntry",
 ]

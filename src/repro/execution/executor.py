@@ -11,13 +11,14 @@ experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel, DEFAULT_COST_MODEL
 from repro.dag.builder import IndexBuildOp
 from repro.dag.nodes import (
     AggregateOp,
+    CachedReadOp,
     JoinOp,
     NestedApplyOp,
     NoOp,
@@ -36,6 +37,12 @@ from repro.execution.operators import (
     project_rows,
     rows_blocks,
     scan_rows,
+)
+from repro.execution.result_cache import (
+    ResultCache,
+    ResultCacheEntry,
+    operator_token,
+    token_digest,
 )
 from repro.optimizer.plans import ConsolidatedPlan, PlanNode, extract_plan
 
@@ -57,18 +64,46 @@ class ExecutionResult:
         return self.stats.simulated_seconds
 
 
+@dataclass
+class _DigestContext:
+    """Per-run digest bookkeeping for the result cache.
+
+    ``digests``/``deps`` record, per materialized equivalence-node id, the
+    content digest and base-relation set of the producing subtree, so
+    ``reuse`` plan nodes (which carry no subtree of their own) resolve to
+    their producer's values.  Producers always precede their reuses in the
+    executor's recursion: :func:`extract_plan` marks the *first* DFS
+    encounter as the materialize node, and the executor (and the digest
+    recursion) walk the exact same DFS order.
+    """
+
+    digests: Dict[int, str] = field(default_factory=dict)
+    deps: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+
 class Executor:
-    """Executes consolidated plans over an in-memory database."""
+    """Executes consolidated plans over an in-memory database.
+
+    With a :class:`~repro.execution.result_cache.ResultCache` attached, the
+    executor additionally (a) *serves* any materialize/operation node whose
+    content digest is already stored — charging only the sequential read of
+    the stored blocks — and (b) *populates* the cache from materialized
+    intermediates, scan-family nodes, and per-query results it computes.
+    ``result_cache=None`` (the default) skips every digest computation and
+    executes exactly as before.
+    """
 
     def __init__(
         self,
         database: Database,
         catalog: Catalog,
         cost_model: CostModel = DEFAULT_COST_MODEL,
+        result_cache: Optional[ResultCache] = None,
     ) -> None:
         self.database = database
         self.catalog = catalog
         self.cost_model = cost_model
+        self.result_cache = result_cache
 
     # -- public API -----------------------------------------------------------
     def run(self, plan: ConsolidatedPlan) -> ExecutionResult:
@@ -76,19 +111,30 @@ class Executor:
         tree = extract_plan(plan)
         stats = ExecutionStats()
         cache: Dict[int, List[Row]] = {}
+        ctx = _DigestContext() if self.result_cache is not None else None
         per_query: List[List[Row]] = []
         if isinstance(tree.operation.operator if tree.operation else None, NoOp):
             for child in tree.children:
-                rows = self._execute(child, stats, cache)
+                rows = self._execute(child, stats, cache, ctx)
+                if ctx is not None:
+                    self._store(child, rows, ctx)
                 per_query.append(rows)
             all_rows = [row for rows in per_query for row in rows]
         else:
-            all_rows = self._execute(tree, stats, cache)
+            all_rows = self._execute(tree, stats, cache, ctx)
+            if ctx is not None:
+                self._store(tree, all_rows, ctx)
             per_query = [all_rows]
         return ExecutionResult(all_rows, stats, per_query)
 
     # -- plan interpretation ------------------------------------------------
-    def _execute(self, node: PlanNode, stats: ExecutionStats, cache: Dict[int, List[Row]]) -> List[Row]:
+    def _execute(
+        self,
+        node: PlanNode,
+        stats: ExecutionStats,
+        cache: Dict[int, List[Row]],
+        ctx: Optional[_DigestContext] = None,
+    ) -> List[Row]:
         if node.kind == "reuse":
             rows = cache.get(node.equivalence.id)
             if rows is None:
@@ -101,7 +147,15 @@ class Executor:
             stats.reuses += 1
             return rows
         if node.kind == "materialize":
-            rows = self._execute(node.children[0], stats, cache)
+            if ctx is not None:
+                # Digest unconditionally: this records the digest/deps of
+                # every materialized node in the subtree, which later
+                # ``reuse`` nodes resolve through the context.
+                digest = self._plan_digest(node, ctx)
+                served = self._try_serve(node, digest, stats, cache)
+                if served is not None:
+                    return served
+            rows = self._execute(node.children[0], stats, cache, ctx)
             cache[node.equivalence.id] = rows
             blocks = rows_blocks(rows, self.cost_model)
             cost = self.cost_model.sequential_write(blocks)
@@ -109,13 +163,180 @@ class Executor:
             stats.rows_materialized += len(rows)
             stats.io_seconds += cost.io
             stats.cpu_seconds += cost.cpu
+            if ctx is not None:
+                self._store(node, rows, ctx)
             return rows
         if node.kind == "base":
             raise ExecutionError("stored tables are consumed by their parent scan operation")
-        return self._execute_operation(node, stats, cache)
+        if ctx is not None and not isinstance(node.operation.operator, (NoOp, CachedReadOp)):
+            digest = self._plan_digest(node, ctx)
+            served = self._try_serve(node, digest, stats, cache)
+            if served is not None:
+                return served
+            rows = self._execute_operation(node, stats, cache, ctx)
+            if self._scan_key(node) is not None:
+                self._store(node, rows, ctx, digest=digest)
+            return rows
+        return self._execute_operation(node, stats, cache, ctx)
 
-    def _execute_operation(self, node: PlanNode, stats: ExecutionStats, cache: Dict[int, List[Row]]) -> List[Row]:
+    # -- result-cache hooks ---------------------------------------------------
+    def _plan_digest(self, node: PlanNode, ctx: _DigestContext) -> str:
+        """Content digest of the physical subtree rooted at *node*.
+
+        Materialization-transparent: a materialize node digests as its
+        child and a reuse node as its producer, so logically identical
+        subtrees hash alike whether or not the optimizer chose to share
+        them.  Base leaves contribute the catalog statistics digest of
+        their table, pinning the optimizer-visible data content.
+        """
+        if node.kind == "reuse":
+            return ctx.digests[node.equivalence.id]
+        if node.kind == "materialize":
+            digest = self._plan_digest(node.children[0], ctx)
+            ctx.digests[node.equivalence.id] = digest
+            return digest
+        if node.kind == "base":
+            table = node.equivalence.base_table or ""
+            stats_digest = self.catalog.table(table).stats_digest()
+            return token_digest(f"base[{table}|{stats_digest}]")
         operator = node.operation.operator
+        parts = ["op|" + operator_token(operator)]
+        if not isinstance(operator, CachedReadOp):
+            # A CachedReadOp's digest field already identifies the content;
+            # its child is a synthetic base node with no stored table.
+            parts.extend(self._plan_digest(child, ctx) for child in node.children)
+        return token_digest("|".join(parts))
+
+    def _plan_deps(self, node: PlanNode, ctx: _DigestContext) -> FrozenSet[str]:
+        """Base relations read by the subtree rooted at *node* (lowercased)."""
+        if node.kind == "reuse":
+            return ctx.deps[node.equivalence.id]
+        if node.kind == "materialize":
+            deps = self._plan_deps(node.children[0], ctx)
+            ctx.deps[node.equivalence.id] = deps
+            return deps
+        if node.kind == "base":
+            return frozenset(((node.equivalence.base_table or "").lower(),))
+        operator = node.operation.operator
+        if isinstance(operator, (ScanOp, CachedReadOp)):
+            return frozenset((operator.table.lower(),))
+        if not node.children:
+            return frozenset()
+        return frozenset().union(*(self._plan_deps(child, ctx) for child in node.children))
+
+    def _has_materialize(self, node: PlanNode) -> bool:
+        """True if any strict descendant of *node* is a materialize node."""
+        return any(
+            child.kind == "materialize" or self._has_materialize(child)
+            for child in node.children
+        )
+
+    def _scan_key(self, node: PlanNode) -> Optional[tuple]:
+        """The equivalence key if *node* is a scan-family node, else None."""
+        key = node.equivalence.key
+        if isinstance(key, tuple) and key and key[0] == "scan":
+            return key
+        return None
+
+    def _try_serve(
+        self,
+        node: PlanNode,
+        digest: str,
+        stats: ExecutionStats,
+        cache: Dict[int, List[Row]],
+    ) -> Optional[List[Row]]:
+        """Serve *node* from the result cache if its digest is stored.
+
+        A digest match means the cached rows are byte-identical to what
+        executing the subtree would produce (see the result-cache module
+        docstring), so only the sequential read of the stored blocks is
+        charged.  Nodes with a materialize *descendant* are never served:
+        skipping the subtree would skip populating the per-run cache that
+        later reuse nodes read.
+        """
+        rc = self.result_cache
+        assert rc is not None
+        if self._has_materialize(node):
+            return None
+        entry = rc.lookup(digest)
+        if entry is None:
+            return None
+        rows = list(entry.rows)
+        cost = self.cost_model.sequential_read(entry.blocks)
+        stats.blocks_read += entry.blocks
+        stats.io_seconds += cost.io
+        stats.cpu_seconds += cost.cpu
+        rc.exec_serves += 1
+        if node.kind == "materialize":
+            # The plan still expects this intermediate to be reusable; no
+            # write is charged — the cached copy already exists.
+            cache[node.equivalence.id] = rows
+        return rows
+
+    def _store(
+        self,
+        node: PlanNode,
+        rows: List[Row],
+        ctx: _DigestContext,
+        digest: Optional[str] = None,
+    ) -> None:
+        """Store the executed *rows* of *node* in the result cache.
+
+        Called for materialized intermediates, scan-family nodes, and
+        per-query roots.  Reuse nodes and rows produced *by* a cached read
+        are skipped — their content is already stored under its original
+        digest.  Scan-family nodes keep their equivalence-key components so
+        the build-time injection pass can offer them for exact and covering
+        (subsumption) reuse.
+        """
+        rc = self.result_cache
+        assert rc is not None
+        if node.kind == "reuse":
+            return
+        inner = node.children[0] if node.kind == "materialize" else node
+        if inner.kind == "reuse":
+            return
+        if inner.operation is not None and isinstance(inner.operation.operator, CachedReadOp):
+            return
+        if digest is None:
+            digest = self._plan_digest(node, ctx)
+        key = self._scan_key(node)
+        entry = ResultCacheEntry(
+            digest=digest,
+            kind="scan" if key is not None else "plan",
+            rows=list(rows),
+            row_count=len(rows),
+            blocks=rows_blocks(rows, self.cost_model),
+            props=node.equivalence.properties,
+            deps=self._plan_deps(node, ctx),
+            table=key[1] if key is not None else None,
+            alias=key[2] if key is not None else None,
+            predicates=key[3] if key is not None else None,
+        )
+        rc.put(entry)
+
+    def _execute_operation(
+        self,
+        node: PlanNode,
+        stats: ExecutionStats,
+        cache: Dict[int, List[Row]],
+        ctx: Optional[_DigestContext] = None,
+    ) -> List[Row]:
+        operator = node.operation.operator
+        if isinstance(operator, CachedReadOp):
+            # Rows are pinned in the operator itself: once a plan is built,
+            # it executes the same bytes even if the store entry has been
+            # evicted, faulted, or invalidated since.
+            rows = list(operator.rows)
+            cost = self.cost_model.sequential_read(operator.blocks)
+            stats.blocks_read += operator.blocks
+            stats.io_seconds += cost.io
+            stats.cpu_seconds += cost.cpu
+            if self.result_cache is not None:
+                self.result_cache.injected_serves += 1
+            if operator.residual is not None:
+                rows = filter_rows(rows, operator.residual, stats, self.cost_model)
+            return rows
         if isinstance(operator, ScanOp):
             table = self.catalog.table(operator.table)
             return scan_rows(
@@ -129,9 +350,9 @@ class Executor:
         if isinstance(operator, NoOp):
             rows: List[Row] = []
             for child in node.children:
-                rows.extend(self._execute(child, stats, cache))
+                rows.extend(self._execute(child, stats, cache, ctx))
             return rows
-        children_rows = [self._execute(child, stats, cache) for child in node.children]
+        children_rows = [self._execute(child, stats, cache, ctx) for child in node.children]
         if isinstance(operator, SelectOp):
             return filter_rows(children_rows[0], operator.predicate, stats, self.cost_model)
         if isinstance(operator, ProjectOp):

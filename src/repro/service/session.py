@@ -96,6 +96,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -126,6 +127,9 @@ from repro.service.resilience import (
     run_ladder,
     seal_snapshot,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.execution.result_cache import ResultCache
 
 _MISSING: Any = object()
 
@@ -234,6 +238,7 @@ class SessionCacheLimits:
     join_props: Optional[int] = None
     join_ops: Optional[int] = None
     join_recipes: Optional[int] = None
+    results: Optional[int] = None
     block_shapes: Optional[int] = None
     block_keys: Optional[int] = None
     weak_joins: Optional[int] = None
@@ -250,6 +255,7 @@ class SessionCacheLimits:
             join_props=4_096 * scale,
             join_ops=8_192 * scale,
             join_recipes=2_048 * scale,
+            results=512 * scale,
             block_shapes=256 * scale,
             block_keys=1_024 * scale,
             weak_joins=2_048 * scale,
@@ -343,6 +349,12 @@ class SessionCache:
         #: (left kid, left props id, right kid, right props id, JoinOp,
         #: cost), in enumeration order.
         self.join_recipes: BoundedCache = BoundedCache(limits_.join_recipes)
+        #: executed-result digest -> (ResultCacheEntry, deps); the backing
+        #: store of :class:`repro.execution.result_cache.ResultCache` —
+        #: rows actually computed by the executor, content-addressed by the
+        #: physical subtree that produced them (catalog statistics digests
+        #: included), offered back to later builds as base derivations.
+        self.results: BoundedCache = BoundedCache(limits_.results)
         # -- catalog-independent caches (never *invalidated*; LRU only) ------
         #: (n, adjacency bitmasks, predicate bitmasks) -> _BlockShape: the
         #: connected-subset list, applicability, canonicality, and partition
@@ -503,6 +515,7 @@ class SessionCache:
             self.join_props,
             self.join_ops,
             self.join_recipes,
+            self.results,
         )
 
     def _evict(self, changed: FrozenSet[str]) -> None:
@@ -545,6 +558,7 @@ class SessionCache:
             "join_props": self.join_props,
             "join_ops": self.join_ops,
             "join_recipes": self.join_recipes,
+            "results": self.results,
             "block_shapes": self.block_shapes,
             "block_keys": self.block_keys,
             "weak_joins": self.weak_joins,
@@ -660,6 +674,7 @@ class OptimizerSession:
         cache_plans: bool = True,
         limits: Optional[SessionCacheLimits] = None,
         max_plans: Optional[int] = None,
+        result_cache: bool = False,
     ) -> None:
         self.catalog = catalog
         self.cost_model = cost_model
@@ -671,6 +686,18 @@ class OptimizerSession:
         self.cache_plans = cache_plans
         self.max_plans = max_plans
         self.cache = SessionCache(catalog, cost_model, limits=limits)
+        #: Cross-batch executed-result store (``None`` when disabled): the
+        #: façade over this session's ``results`` family.  Enable it, hand
+        #: it to an :class:`~repro.execution.Executor`, and every DAG built
+        #: here injects previously executed intermediates as base
+        #: derivations (:mod:`repro.execution.result_cache`).
+        self.result_cache: Optional["ResultCache"] = None
+        if result_cache:
+            # Imported lazily: repro.execution imports the DAG layer, which
+            # this module sits above.
+            from repro.execution.result_cache import ResultCache
+
+            self.result_cache = ResultCache(self.cache)
         self._optimizer = MQOptimizer(
             catalog,
             cost_model=cost_model,
@@ -765,6 +792,13 @@ class OptimizerSession:
         session = cls(cache.catalog, cost_model=cache.cost_model, **options)
         session.cache = cache
         session._cache_generation = cache.generation
+        if session.result_cache is not None:
+            # Rebind the façade to the restored cache (the constructor bound
+            # it to the fresh one that was just replaced); the restored
+            # ``results`` family — cached rows included — keeps serving.
+            from repro.execution.result_cache import ResultCache
+
+            session.result_cache = ResultCache(cache)
         if plans is not None:
             session._plans = plans
         return session
@@ -829,6 +863,7 @@ class OptimizerSession:
             cost_model=self.cost_model,
             enable_subsumption=self.enable_subsumption and self.enable_mqo,
             session=self.cache,
+            result_cache=self.result_cache,
         )
         dag = builder.build(list(queries))
         entry = _PlanEntry(dag, builder.session_deps())
@@ -875,7 +910,7 @@ class OptimizerSession:
                 cached = entry.results.get(result_key)
                 if cached is not None:
                     self.plan_hits += 1
-                    return cached
+                    return self._adopt_cached_reads(cached)
                 self.plan_misses += 1
             if budget is None:
                 result = self._optimizer.optimize(
@@ -883,7 +918,7 @@ class OptimizerSession:
                 )
                 if self.cache_plans:
                     entry.results[result_key] = result
-                return result
+                return self._adopt_cached_reads(result)
             result = run_ladder(
                 entry.dag,
                 algorithm,
@@ -899,7 +934,21 @@ class OptimizerSession:
                 and report.level is DegradationLevel.FULL
             ):
                 entry.results[result_key] = result
-            return result
+            return self._adopt_cached_reads(result)
+
+    def _adopt_cached_reads(self, result: OptimizationResult) -> OptimizationResult:
+        """Swap injected cached reads into the chosen plan (result-cache on).
+
+        Runs after the optimization search so the search itself stays
+        bit-identical to a cache-off run; see
+        :func:`repro.execution.result_cache.adopt_cached_reads`.  Idempotent,
+        so plan-cache hits can pass through here again safely.
+        """
+        if self.result_cache is not None:
+            from repro.execution.result_cache import adopt_cached_reads
+
+            adopt_cached_reads(result.plan, self.result_cache)
+        return result
 
     def optimize_all(
         self,

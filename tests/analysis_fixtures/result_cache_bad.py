@@ -1,0 +1,18 @@
+"""M001: a result-cache attribute missing from the invalidation registry.
+
+``ResultCache`` is registered in ``[tool.repro-lint.registries]`` as owning
+``clear``: every dict/set-valued attribute its ``__init__`` creates must be
+wiped there (or carry a justified suppression).  An interner that survives
+``clear`` would keep serving tokens derived from evicted entries — exactly
+the stale-shortcut class of bug the rule exists for.
+"""
+
+
+class ResultCache:
+    def __init__(self, session):
+        self.session = session
+        self._pred_tokens = {}
+        self._stale_digests = {}  # never cleared: outlives a full wipe
+
+    def clear(self):
+        self._pred_tokens.clear()

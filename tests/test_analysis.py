@@ -54,6 +54,7 @@ class TestFixtureCorpus:
             ("c002_bad.py", {("C002", 7), ("C002", 12), ("C002", 17)}),
             ("m001_bad.py", {("M001", 14)}),
             ("m001_missing_registry.py", {("M001", 4)}),
+            ("result_cache_bad.py", {("M001", 15)}),
         ],
     )
     def test_known_bad(self, name, expected):

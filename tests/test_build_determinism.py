@@ -17,7 +17,10 @@ are locked down here:
   order plus work accounting, for a Volcano and a greedy plan.  (PR 2 fixed
   the selectivity-product hash-order leak in ``_join_properties``; PR 4
   fixed the residual-conjunct order of subsumption selections, which this
-  test would catch regressing.)
+  test would catch regressing.)  Since PR 10 the matrix also covers the
+  cross-batch result cache: its content-address keys, hit/miss/injection/
+  serve counters, the fingerprints of DAGs carrying injected cached-read
+  nodes, and the rows it serves.
 
 The fingerprints come from :func:`tests.generators.dag_fingerprint`, which
 sorts every frozenset by a canonical token so the serialization itself is
@@ -110,6 +113,33 @@ print("chaos-schedule", injector.schedule_digest(), injector.injected_faults)
 # the (process-local) pickle bytes of a real snapshot.
 corrupted = injector.corrupt_snapshot(bytes(range(256)))
 print("chaos-snapshot", hashlib.sha256(corrupted).hexdigest())
+# Cross-batch result cache (PR 10): the content-address cache keys, the
+# hit/miss/injection/serve counters, the fingerprints of DAGs carrying
+# injected cached-read nodes, and the served rows must all be hash-seed
+# independent.  Batch 3 repeats batch 1's component, so it mixes warm-DAG
+# reuse with execution-time digest serves.
+rc_session = OptimizerSession(exec_catalog, cache_plans=False, result_cache=True)
+rc_executor = Executor(
+    generate_psp_data(relation_count=6, rows_per_table=300),
+    exec_catalog, result_cache=rc_session.result_cache,
+)
+for batch_index, component in enumerate((1, 2, 1)):
+    queries = component_query(component)
+    result = rc_executor.run(rc_session.optimize(queries, "greedy").plan)
+    serialized = repr([
+        [[(str(col), row[col]) for col in row] for row in rows]
+        for rows in result.per_query_rows
+    ])
+    print("rc-rows", batch_index,
+          hashlib.sha256(serialized.encode()).hexdigest(),
+          result.stats.blocks_read)
+    fingerprint = dag_fingerprint(rc_session.build_dag(queries))
+    print("rc-dag", batch_index, hashlib.sha256(fingerprint.encode()).hexdigest())
+rc = rc_session.result_cache
+print("rc-counters", rc.hits, rc.misses, rc.stores, rc.exact_injections,
+      rc.covering_injections, rc.adoptions, rc.exec_serves, rc.injected_serves)
+for digest in sorted(rc_session.cache.results.keys()):
+    print("rc-key", digest)
 """
 
 

@@ -49,6 +49,7 @@ ALL_FAMILIES = (
     "join_props",
     "join_ops",
     "join_recipes",
+    "results",
     "block_shapes",
     "block_keys",
     "weak_joins",
@@ -184,6 +185,58 @@ class TestByteIdentityUnderFaults:
         assert injector.injected_corruptions > 0
         assert stats.quarantined > 0
         assert stats.quarantined <= injector.injected_corruptions
+
+
+class TestResultCacheChaos:
+    """rate-1.0 faults on the ``results`` family (PR 10): the cross-batch
+    result cache becomes unusable, and execution must not care — rows *and*
+    work accounting byte-identical to a never-cached run, because a dropped
+    or corrupted entry is strictly a miss (corruption additionally counts a
+    quarantine), never a wrong row."""
+
+    def _setup(self):
+        from repro.execution import generate_psp_data
+        from repro.workloads.scaleup import component_query
+
+        catalog = psp_catalog(relation_count=6)
+        database = generate_psp_data(relation_count=6, rows_per_table=100)
+        batches = [component_query(1), component_query(2), component_query(1)]
+        return catalog, database, batches
+
+    @pytest.mark.parametrize("mode", ["drop", "corrupt"])
+    def test_unusable_results_family_serves_seed_bytes(self, mode):
+        from repro.execution import Executor
+        from tests.test_result_cache import work_digest
+
+        catalog, database, batches = self._setup()
+        expected = [
+            work_digest(
+                Executor(database, catalog).run(
+                    MQOptimizer(catalog).optimize(queries, "greedy").plan
+                )
+            )
+            for queries in batches
+        ]
+        session = OptimizerSession(catalog, cache_plans=False, result_cache=True)
+        executor = Executor(database, catalog,
+                            result_cache=session.result_cache)
+        injector = FaultInjector(seed=11, rate=1.0, families=["results"],
+                                 mode=mode)
+        with injector.attach(session):
+            for queries, digest in zip(batches, expected):
+                produced = executor.run(session.optimize(queries, "greedy").plan)
+                assert work_digest(produced) == digest
+        cache = session.result_cache
+        # Nothing was ever served or injected: every probe was faulted away.
+        assert cache.exec_serves == 0
+        assert cache.injected_serves == 0
+        assert cache.exact_injections == 0
+        assert cache.covering_injections == 0
+        if mode == "drop":
+            assert injector.injected_drops > 0
+        else:
+            assert injector.injected_corruptions > 0
+            assert session.cache_stats().quarantined > 0
 
 
 class TestRecipeQuarantine:

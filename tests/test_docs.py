@@ -1,13 +1,14 @@
 """Docs freshness: the documentation's code examples must actually run.
 
 Every fenced ``python`` block in ``README.md``, ``docs/DETERMINISM.md``,
-``docs/ARCHITECTURE.md``, and ``docs/RESILIENCE.md`` is executed in its own
-namespace (asserts
+``docs/ARCHITECTURE.md``, ``docs/RESILIENCE.md``, and
+``docs/RESULT_CACHE.md`` is executed in its own namespace (asserts
 included), so the documented API — the quick-start, the
 ``OptimizerSession`` warm-rebuild example, the linter example, the arena
-walkthrough — can never drift from the code.  The blocks are intentionally small
-and statistics-only (no data generation), keeping this suite a few hundred
-milliseconds.  The multi-worker service example (snapshot fan-out, bounded
+walkthrough, the result-cache examples — can never drift from the code.  The
+blocks are intentionally small — statistics-only, or at most a tiny generated
+dataset (the result-cache examples execute real rows) — keeping this suite
+fast.  The multi-worker service example (snapshot fan-out, bounded
 caches, background warming — the deployment story of PR 7) runs as a real
 subprocess, self-checking included.
 
@@ -28,6 +29,7 @@ DOCS = {
     "DETERMINISM.md": os.path.join(REPO_ROOT, "docs", "DETERMINISM.md"),
     "ARCHITECTURE.md": os.path.join(REPO_ROOT, "docs", "ARCHITECTURE.md"),
     "RESILIENCE.md": os.path.join(REPO_ROOT, "docs", "RESILIENCE.md"),
+    "RESULT_CACHE.md": os.path.join(REPO_ROOT, "docs", "RESULT_CACHE.md"),
 }
 
 _BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -57,6 +59,10 @@ def test_architecture_doc_has_python_example():
 
 def test_resilience_doc_has_python_examples():
     assert len(_python_blocks("RESILIENCE.md")) >= 3, "RESILIENCE.md lost its executable examples"
+
+
+def test_result_cache_doc_has_python_examples():
+    assert len(_python_blocks("RESULT_CACHE.md")) >= 3, "RESULT_CACHE.md lost its executable examples"
 
 
 @pytest.mark.parametrize("doc, index, block", _all_blocks())

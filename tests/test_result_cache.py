@@ -1,0 +1,304 @@
+"""Differential lockdown of the cross-batch result cache (PR 10).
+
+Two oracles pin the feature:
+
+1. **Cache-off ≡ seed.**  A session built without ``result_cache=True`` and
+   an :class:`Executor` without a cache must behave *byte-identically* to the
+   plain one-shot pipeline — same rows (row and column order included) and
+   the same work accounting, down to the float accumulators.  The cache must
+   cost nothing when it is off.
+
+2. **Cache-on rows ≡ cold rows.**  Whatever the cache serves — exact digest
+   matches at execution time, injected cached reads, covering hits that
+   re-filter a weaker cached result through a compensating residual
+   selection — the per-query rows must be byte-identical to a cold
+   execution, while the accounted work (block reads) only ever goes down.
+
+The sweeps run the PSP scale-up composites CQ1..CQ5, the TPC-D batch BQ5,
+and 40 seeded random overlapping batches through one long-lived cached
+session, each batch checked against its own cold execution.  Lifecycle tests
+cover statistics-driven invalidation, the LRU bound of the ``results``
+family, and the snapshot round-trip.
+"""
+
+import hashlib
+
+import pytest
+
+from repro import MQOptimizer
+from repro.algebra import Join, Relation, Select, TruePredicate, col, eq, ge
+from repro.catalog import psp_catalog, tpcd_catalog
+from repro.dag.builder import Query
+from repro.execution import Executor, generate_psp_data, generate_tpcd_data
+from repro.service.session import OptimizerSession, SessionCacheLimits
+from repro.workloads.batch import batched_queries
+from repro.workloads.scaleup import component_query, scaleup_queries
+from tests.generators import random_query_workload
+
+
+def rows_digest(per_query_rows):
+    """sha256 over the exact rows: values, row order, column order."""
+    serialized = repr([
+        [[(str(column), row[column]) for column in row] for row in rows]
+        for rows in per_query_rows
+    ])
+    return hashlib.sha256(serialized.encode()).hexdigest()
+
+
+def work_digest(result):
+    """Rows digest plus the full work accounting — the seed-behavior oracle."""
+    stats = result.stats
+    token = "|".join((
+        rows_digest(result.per_query_rows),
+        str(stats.rows_scanned), str(stats.rows_processed),
+        str(stats.rows_materialized), str(stats.blocks_read),
+        str(stats.blocks_written), str(stats.reuses),
+        repr(stats.io_seconds), repr(stats.cpu_seconds),
+    ))
+    return hashlib.sha256(token.encode()).hexdigest()
+
+
+def _has_cross_product(query):
+    def walk(expression):
+        if isinstance(expression, Join) and isinstance(
+            expression.predicate, TruePredicate
+        ):
+            return True
+        return any(walk(child) for child in expression.children())
+
+    return walk(query.expression)
+
+
+def executable_workloads(count):
+    """The first *count* seeded random batches free of cross-product joins.
+
+    Cross products are legal plans but explode row counts under execution;
+    the generator's other shapes (shared scans, overlapping range/equality
+    selections, repeated tables, aggregations) are what the cache is about.
+    Deterministic: seeds are scanned in order from 0.
+    """
+    workloads = []
+    seed = 0
+    while len(workloads) < count:
+        workload = random_query_workload(seed)
+        if not any(_has_cross_product(query) for query in workload):
+            workloads.append((seed, workload))
+        seed += 1
+    return workloads
+
+
+def cold_run(catalog, database, queries):
+    """The seed pipeline: one-shot optimization, cache-less execution."""
+    plan = MQOptimizer(catalog).optimize(queries, "greedy").plan
+    return Executor(database, catalog).run(plan)
+
+
+def cached_session(catalog, limits=None):
+    session = OptimizerSession(
+        catalog, cache_plans=False, result_cache=True, limits=limits
+    )
+    return session, session.result_cache
+
+
+@pytest.fixture(scope="module")
+def psp6():
+    return psp_catalog(relation_count=6), generate_psp_data(
+        relation_count=6, rows_per_table=100
+    )
+
+
+@pytest.fixture(scope="module")
+def psp22():
+    return psp_catalog(), generate_psp_data(relation_count=22, rows_per_table=80)
+
+
+@pytest.fixture(scope="module")
+def tpcd():
+    return tpcd_catalog(), generate_tpcd_data(0.002)
+
+
+class TestCacheOffIsSeedBehavior:
+    def test_session_without_result_cache_has_no_cache(self, psp6):
+        catalog, _ = psp6
+        assert OptimizerSession(catalog, cache_plans=False).result_cache is None
+        assert Executor(dict(), catalog).result_cache is None
+
+    def test_cache_off_work_digest_matches_one_shot(self, psp6):
+        catalog, database = psp6
+        session = OptimizerSession(catalog, cache_plans=False)
+        for queries in (component_query(1), component_query(2),
+                        executable_workloads(1)[0][1]):
+            warm = Executor(database, catalog).run(
+                session.optimize(queries, "greedy").plan
+            )
+            reference = cold_run(catalog, database, queries)
+            assert work_digest(warm) == work_digest(reference)
+
+    def test_results_family_stays_empty_without_cache(self, psp6):
+        catalog, database = psp6
+        session = OptimizerSession(catalog, cache_plans=False)
+        Executor(database, catalog).run(
+            session.optimize(component_query(1), "greedy").plan
+        )
+        assert len(session.cache.results) == 0
+
+
+class TestDifferentialRows:
+    def test_scaleup_composites_rows_identical_and_cheaper(self, psp22):
+        catalog, database = psp22
+        session, cache = cached_session(catalog)
+        executor = Executor(database, catalog, result_cache=cache)
+        off_blocks = on_blocks = 0
+        for i in range(1, 6):
+            queries = scaleup_queries(i)
+            cold = cold_run(catalog, database, queries)
+            cached = executor.run(session.optimize(queries, "greedy").plan)
+            assert rows_digest(cached.per_query_rows) == rows_digest(
+                cold.per_query_rows
+            ), f"CQ{i}: cached rows diverged from the cold execution"
+            assert cached.stats.blocks_read <= cold.stats.blocks_read
+            off_blocks += cold.stats.blocks_read
+            on_blocks += cached.stats.blocks_read
+        assert on_blocks < off_blocks
+        counters = cache.counters()
+        assert counters["stores"] > 0
+        assert counters["exec_serves"] + counters["injected_serves"] > 0
+
+    def test_bq5_rows_identical_across_repeats(self, tpcd):
+        catalog, database = tpcd
+        queries = batched_queries(5)
+        cold = cold_run(catalog, database, queries)
+        session, cache = cached_session(catalog)
+        executor = Executor(database, catalog, result_cache=cache)
+        first = executor.run(session.optimize(queries, "greedy").plan)
+        second = executor.run(session.optimize(queries, "greedy").plan)
+        oracle = rows_digest(cold.per_query_rows)
+        assert rows_digest(first.per_query_rows) == oracle
+        assert rows_digest(second.per_query_rows) == oracle
+        # The repeat must be served, not recomputed.
+        assert second.stats.blocks_read < cold.stats.blocks_read
+        assert cache.exec_serves + cache.injected_serves > 0
+
+    def test_forty_seeded_random_batches_differential(self, psp6):
+        catalog, database = psp6
+        session, cache = cached_session(catalog)
+        executor = Executor(database, catalog, result_cache=cache)
+        off_blocks = on_blocks = 0
+        for seed, queries in executable_workloads(40):
+            cold = cold_run(catalog, database, queries)
+            cached = executor.run(session.optimize(queries, "greedy").plan)
+            assert rows_digest(cached.per_query_rows) == rows_digest(
+                cold.per_query_rows
+            ), f"seed {seed}: cached rows diverged from the cold execution"
+            assert cached.stats.blocks_read <= cold.stats.blocks_read, (
+                f"seed {seed}: the cache made execution do *more* block reads"
+            )
+            off_blocks += cold.stats.blocks_read
+            on_blocks += cached.stats.blocks_read
+        assert on_blocks < off_blocks
+        counters = cache.counters()
+        assert counters["exact_injections"] > 0
+        assert counters["injected_serves"] > 0
+
+    def test_covering_hit_applies_residual_selection(self, psp6):
+        catalog, database = psp6
+        weaker = Query("weak", Select(Relation("psp1"),
+                                      ge(col("psp1", "num"), 700)))
+        stronger = Query("strong", Select(Relation("psp1"),
+                                          ge(col("psp1", "num"), 900)))
+        session, cache = cached_session(catalog)
+        executor = Executor(database, catalog, result_cache=cache)
+        executor.run(session.optimize([weaker], "greedy").plan)
+        assert cache.covering_injections == 0
+        cold = cold_run(catalog, database, [stronger])
+        cached = executor.run(session.optimize([stronger], "greedy").plan)
+        # The stronger scan was answered from the weaker cached result plus
+        # a compensating residual selection — and the rows are byte-equal.
+        assert cache.covering_injections >= 1
+        assert cache.injected_serves >= 1
+        assert rows_digest(cached.per_query_rows) == rows_digest(
+            cold.per_query_rows
+        )
+
+    def test_covering_sweep_forces_residual_hits(self, psp6):
+        """Chain batches whose scan thresholds strengthen batch over batch:
+        every later batch can only be answered from the earlier, weaker
+        cached scans through residual compensation."""
+        catalog, database = psp6
+
+        def chain(threshold, name):
+            expression = Select(Relation("psp1"),
+                                ge(col("psp1", "num"), threshold))
+            expression = Join(expression, Relation("psp2"),
+                              eq(col("psp1", "sp"), col("psp2", "p")))
+            return Query(name, expression)
+
+        session, cache = cached_session(catalog)
+        executor = Executor(database, catalog, result_cache=cache)
+        for index, threshold in enumerate((600, 700, 800, 900)):
+            queries = [chain(threshold, f"T{threshold}")]
+            cold = cold_run(catalog, database, queries)
+            cached = executor.run(session.optimize(queries, "greedy").plan)
+            assert rows_digest(cached.per_query_rows) == rows_digest(
+                cold.per_query_rows
+            ), f"threshold {threshold}"
+            if index:
+                assert cache.covering_injections >= index
+        assert cache.injected_serves > 0
+
+
+class TestLifecycle:
+    def test_statistics_update_invalidates_dependent_entries(self, psp6):
+        catalog = psp_catalog(relation_count=6)  # private: this test mutates
+        database = generate_psp_data(relation_count=6, rows_per_table=100)
+        session, cache = cached_session(catalog)
+        executor = Executor(database, catalog, result_cache=cache)
+        executor.run(session.optimize(component_query(1), "greedy").plan)
+        deps_before = [entry.deps for entry, _ in session.cache.results.values()]
+        assert any("psp1" in deps for deps in deps_before)
+        assert any("psp1" not in deps for deps in deps_before)
+        catalog.update_statistics("psp1", row_count=777)
+        session.cache.sync()
+        deps_after = [entry.deps for entry, _ in session.cache.results.values()]
+        assert deps_after, "invalidation wiped unrelated entries"
+        assert all("psp1" not in deps for deps in deps_after)
+
+    def test_results_family_honors_lru_bound(self, psp6):
+        catalog, database = psp6
+        session, cache = cached_session(
+            catalog, limits=SessionCacheLimits(results=2)
+        )
+        executor = Executor(database, catalog, result_cache=cache)
+        for component in (1, 2, 1, 2):
+            queries = component_query(component)
+            cold = cold_run(catalog, database, queries)
+            cached = executor.run(session.optimize(queries, "greedy").plan)
+            assert len(session.cache.results) <= 2
+            assert rows_digest(cached.per_query_rows) == rows_digest(
+                cold.per_query_rows
+            )
+        assert session.cache.results.evictions > 0
+
+    def test_snapshot_roundtrip_serves_restored_entries(self, psp6):
+        catalog, database = psp6
+        donor, donor_cache = cached_session(catalog)
+        Executor(database, catalog, result_cache=donor_cache).run(
+            donor.optimize(component_query(1), "greedy").plan
+        )
+        restored = OptimizerSession.from_snapshot(
+            donor.snapshot_state(), cache_plans=False, result_cache=True
+        )
+        assert restored.result_cache is not None
+        assert restored.result_cache.store is restored.cache.results
+        assert len(restored.cache.results) == len(donor.cache.results)
+        executor = Executor(database, catalog,
+                            result_cache=restored.result_cache)
+        cold = cold_run(catalog, database, component_query(1))
+        served = executor.run(restored.optimize(component_query(1),
+                                                "greedy").plan)
+        assert rows_digest(served.per_query_rows) == rows_digest(
+            cold.per_query_rows
+        )
+        assert served.stats.blocks_read < cold.stats.blocks_read
+        counters = restored.result_cache.counters()
+        assert counters["exec_serves"] + counters["injected_serves"] > 0

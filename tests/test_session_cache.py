@@ -470,8 +470,8 @@ class TestBoundedCaches:
         optimizer = MQOptimizer(catalog)
         limits = SessionCacheLimits(
             base_props=8, scans=16, derived=48, join_props=48, join_ops=96,
-            join_recipes=24, block_shapes=8, block_keys=16, weak_joins=24,
-            implications=48,
+            join_recipes=24, results=8, block_shapes=8, block_keys=16,
+            weak_joins=24, implications=48,
         )
         session = OptimizerSession(catalog, cache_plans=False, limits=limits)
         batches = [
